@@ -1,0 +1,145 @@
+//! Criterion micro-latency benches: per-operation and per-transaction
+//! costs of every algorithm. These quantify the paper's overhead
+//! discussion — semantic metadata (compare-sets, write-set flags) must
+//! cost little enough that avoided aborts dominate (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtm_core::util::SplitMix64;
+use semtm_core::{Algorithm, CmpOp, Stm, StmConfig};
+use semtm_workloads::{bank, hashtable, lru, queue};
+
+fn stm(alg: Algorithm) -> Stm {
+    Stm::new(StmConfig::new(alg).heap_words(1 << 18).orec_count(1 << 12))
+}
+
+/// Barrier-level costs: a transaction of 16 reads / cmps / incs.
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barriers");
+    g.sample_size(20);
+    for alg in Algorithm::ALL {
+        let s = stm(alg);
+        let arr = s.alloc_array(16, 1i64);
+        g.bench_with_input(BenchmarkId::new("read16", alg.name()), &s, |b, s| {
+            b.iter(|| {
+                s.atomic(|tx| {
+                    let mut acc = 0;
+                    for i in 0..16 {
+                        acc += tx.read(arr.offset(i))?;
+                    }
+                    Ok(acc)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cmp16", alg.name()), &s, |b, s| {
+            b.iter(|| {
+                s.atomic(|tx| {
+                    let mut acc = 0;
+                    for i in 0..16 {
+                        acc += tx.cmp(arr.offset(i), CmpOp::Gt, 0)? as i64;
+                    }
+                    Ok(acc)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("inc16", alg.name()), &s, |b, s| {
+            b.iter(|| {
+                s.atomic(|tx| {
+                    for i in 0..16 {
+                        tx.inc(arr.offset(i), 1)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Whole-transaction latency of the micro-benchmarks (single-threaded:
+/// pure overhead, no contention).
+fn bench_workload_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_tx");
+    g.sample_size(20);
+    for alg in Algorithm::ALL {
+        // Bank transfer transaction.
+        {
+            let s = stm(alg);
+            let b_ = bank::Bank::new(&s, bank::BankConfig::default());
+            let mut rng = SplitMix64::new(5);
+            g.bench_function(BenchmarkId::new("bank", alg.name()), |b| {
+                b.iter(|| b_.transfer_tx(&s, &mut rng))
+            });
+        }
+        // Hashtable 10-op transaction.
+        {
+            let s = stm(alg);
+            let t = hashtable::Hashtable::new(
+                &s,
+                hashtable::HashtableConfig {
+                    capacity: 1 << 10,
+                    ..hashtable::HashtableConfig::default()
+                },
+            );
+            let mut rng = SplitMix64::new(6);
+            g.bench_function(BenchmarkId::new("hashtable", alg.name()), |b| {
+                b.iter(|| t.workload_tx(&s, &mut rng))
+            });
+        }
+        // LRU batch transaction.
+        {
+            let s = stm(alg);
+            let cache = lru::LruCache::new(&s, lru::LruConfig::default());
+            let mut rng = SplitMix64::new(7);
+            g.bench_function(BenchmarkId::new("lru", alg.name()), |b| {
+                b.iter(|| cache.workload_tx(&s, &mut rng))
+            });
+        }
+        // Queue enqueue+dequeue pair (Algorithm 3).
+        {
+            let s = stm(alg);
+            let q = queue::TQueue::new(&s, 64);
+            g.bench_function(BenchmarkId::new("queue_pair", alg.name()), |b| {
+                b.iter(|| {
+                    s.atomic(|tx| q.enqueue(tx, 1));
+                    s.atomic(|tx| q.dequeue(tx))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Validation-cost scaling: read-set size vs revalidation time, the
+/// S-TL2 compare-set overhead called out in §4.2.
+fn bench_validation_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validation_scaling");
+    g.sample_size(15);
+    for n in [8usize, 64, 256] {
+        for alg in [Algorithm::SNOrec, Algorithm::STl2] {
+            let s = stm(alg);
+            let arr = s.alloc_array(n, 1i64);
+            let probe = s.alloc_cell(0i64);
+            g.bench_function(BenchmarkId::new(format!("cmpset{n}"), alg.name()), |b| {
+                b.iter(|| {
+                    s.atomic(|tx| {
+                        for i in 0..n {
+                            let _ = tx.cmp(arr.offset(i), CmpOp::Gt, 0)?;
+                        }
+                        // A write forces commit-time validation work.
+                        tx.write(probe, 1)?;
+                        Ok(())
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_barriers,
+    bench_workload_tx,
+    bench_validation_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! `cargo bench` entry point that regenerates every table and figure at
+//! smoke scale (a custom harness, not Criterion): the same sweeps as
+//! `cargo run --release -p semtm-bench --bin figures -- all`, sized for
+//! CI. For EXPERIMENTS.md-grade numbers run the binary without --smoke.
+
+use semtm_bench::experiments as exp;
+use semtm_bench::report::{markdown_table, speedup_summary};
+use semtm_bench::{fig2, table3, Scale, Sweep};
+use semtm_workloads::stamp::labyrinth::Variant;
+use std::time::Duration;
+
+fn main() {
+    // `cargo bench -- --test` style filters are ignored; this harness
+    // always runs the full smoke sweep.
+    let sweep = Sweep::new(Scale::Smoke);
+    println!("# paper figures (smoke scale, threads {:?})", sweep.threads);
+
+    let rows = table3::table3(true);
+    println!("{}", table3::markdown(&rows));
+
+    let pairs: &[(&str, &str)] = &[("NOrec", "S-NOrec"), ("TL2", "S-TL2")];
+    let sections: Vec<(&str, Vec<semtm_bench::FigureRow>)> = vec![
+        ("Figures 1a/1b — Hashtable", exp::fig1_hashtable(&sweep)),
+        ("Figures 1c/1d — Bank", exp::fig1_bank(&sweep)),
+        ("Figures 1e/1f — LRU", exp::fig1_lru(&sweep)),
+        ("Figures 1g/1h — Kmeans", exp::fig1_kmeans(&sweep)),
+        ("Figures 1i/1j — Vacation", exp::fig1_vacation(&sweep)),
+        (
+            "Figures 1k/1l — Labyrinth 1",
+            exp::fig1_labyrinth(&sweep, Variant::CopyInsideTx),
+        ),
+        (
+            "Figures 1m/1n — Labyrinth 2",
+            exp::fig1_labyrinth(&sweep, Variant::CopyOutsideTx),
+        ),
+        ("Figures 1o/1p — Yada", exp::fig1_yada(&sweep)),
+        ("Ablation A1 — S-TL2 snapshot extension", exp::ablation_stl2_extension(&sweep)),
+        ("Ablation A2 — S-NOrec read-set dedup", exp::ablation_snorec_dedup(&sweep)),
+        ("Ablation A3 — contention managers", exp::ablation_cm_policy(&sweep)),
+        ("Ablation A4 — RingSTM commit filters", exp::ablation_ring_filters(&sweep)),
+    ];
+    for (title, rows) in sections {
+        println!("{}", markdown_table(title, &rows));
+        for (b, s) in pairs {
+            print!("{}", speedup_summary(&rows, b, s));
+        }
+    }
+
+    let rows = fig2::fig2_hashtable(&sweep.threads, Duration::from_millis(80), 7, sweep.seed);
+    println!("{}", markdown_table("Figures 2a/2b — Hashtable (GCC path)", &rows));
+    print!("{}", speedup_summary(&rows, "NOrec", "S-NOrec"));
+    let rows = fig2::fig2_vacation(&sweep.threads, 32, 400, sweep.seed);
+    println!("{}", markdown_table("Figures 2c/2d — Vacation (GCC path)", &rows));
+    print!("{}", speedup_summary(&rows, "NOrec", "S-NOrec"));
+    println!("\nsmoke figures done.");
+}

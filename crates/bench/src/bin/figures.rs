@@ -1,0 +1,211 @@
+//! The figure/table regeneration harness.
+//!
+//! ```text
+//! cargo run --release -p semtm-bench --bin figures -- all
+//! cargo run --release -p semtm-bench --bin figures -- fig1-hashtable fig2-vacation
+//! cargo run --release -p semtm-bench --bin figures -- --smoke all
+//! ```
+//!
+//! Prints each experiment as a markdown table (paper-style series) and a
+//! semantic-vs-base speedup digest, and writes CSVs under `results/`.
+
+use semtm_bench::experiments as exp;
+use semtm_bench::report::{markdown_table, speedup_summary, write_csv};
+use semtm_bench::{fig2, table3, Scale, Sweep};
+use semtm_workloads::stamp::labyrinth::Variant;
+use std::time::Duration;
+
+const EXPERIMENTS: &[&str] = &[
+    "table3",
+    "fig1-hashtable",
+    "fig1-bank",
+    "fig1-lru",
+    "fig1-kmeans",
+    "fig1-vacation",
+    "fig1-labyrinth1",
+    "fig1-labyrinth2",
+    "fig1-yada",
+    "fig2-hashtable",
+    "fig2-vacation",
+    "ablation-stl2",
+    "ablation-snorec",
+    "ablation-cm",
+    "ablation-ring",
+    "contention",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("usage: figures [--smoke] all | {}", EXPERIMENTS.join(" | "));
+        std::process::exit(2);
+    }
+    let run_all = selected.contains(&"all");
+    let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    let sweep = Sweep::new(scale);
+    let pick = |name: &str| run_all || selected.contains(&name);
+
+    println!("# semtm figure harness (scale: {scale:?}, threads: {:?})", sweep.threads);
+
+    if pick("table3") {
+        let rows = table3::table3(smoke);
+        println!("{}", table3::markdown(&rows));
+        std::fs::create_dir_all("results").ok();
+        std::fs::write("results/table3.csv", table3::csv(&rows)).expect("write table3");
+        println!("wrote results/table3.csv");
+    }
+
+    let emit = |name: &str,
+                    title: &str,
+                    rows: Vec<semtm_bench::FigureRow>,
+                    pairs: &[(&str, &str)]| {
+        println!("{}", markdown_table(title, &rows));
+        for (base, sem) in pairs {
+            print!("{}", speedup_summary(&rows, base, sem));
+        }
+        match write_csv(name, &rows) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    };
+
+    let stm_pairs: &[(&str, &str)] = &[("NOrec", "S-NOrec"), ("TL2", "S-TL2")];
+
+    if pick("fig1-hashtable") {
+        emit(
+            "fig1_hashtable",
+            "Figures 1a/1b — Hashtable (throughput kTx/s, abort %)",
+            exp::fig1_hashtable(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-bank") {
+        emit(
+            "fig1_bank",
+            "Figures 1c/1d — Bank",
+            exp::fig1_bank(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-lru") {
+        emit(
+            "fig1_lru",
+            "Figures 1e/1f — LRU Cache",
+            exp::fig1_lru(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-kmeans") {
+        emit(
+            "fig1_kmeans",
+            "Figures 1g/1h — Kmeans (execution time s, abort %)",
+            exp::fig1_kmeans(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-vacation") {
+        emit(
+            "fig1_vacation",
+            "Figures 1i/1j — Vacation",
+            exp::fig1_vacation(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-labyrinth1") {
+        emit(
+            "fig1_labyrinth1",
+            "Figures 1k/1l — Labyrinth 1 (copy inside tx)",
+            exp::fig1_labyrinth(&sweep, Variant::CopyInsideTx),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-labyrinth2") {
+        emit(
+            "fig1_labyrinth2",
+            "Figures 1m/1n — Labyrinth 2 (copy outside tx, Ruan et al.)",
+            exp::fig1_labyrinth(&sweep, Variant::CopyOutsideTx),
+            stm_pairs,
+        );
+    }
+    if pick("fig1-yada") {
+        emit(
+            "fig1_yada",
+            "Figures 1o/1p — Yada",
+            exp::fig1_yada(&sweep),
+            stm_pairs,
+        );
+    }
+    let gcc_pairs: &[(&str, &str)] = &[
+        ("NOrec", "NOrec Modified-GCC"),
+        ("NOrec", "S-NOrec"),
+    ];
+    if pick("fig2-hashtable") {
+        let (cap, dur) = if smoke {
+            (7, Duration::from_millis(80))
+        } else {
+            (10, Duration::from_millis(400))
+        };
+        emit(
+            "fig2_hashtable",
+            "Figures 2a/2b — Hashtable via modified-GCC path",
+            fig2::fig2_hashtable(&sweep.threads, dur, cap, sweep.seed),
+            gcc_pairs,
+        );
+    }
+    if pick("fig2-vacation") {
+        let (offers, res) = if smoke { (32, 400) } else { (128, 3000) };
+        emit(
+            "fig2_vacation",
+            "Figures 2c/2d — Vacation kernel via modified-GCC path",
+            fig2::fig2_vacation(&sweep.threads, offers, res, sweep.seed),
+            gcc_pairs,
+        );
+    }
+    if pick("contention") {
+        emit(
+            "contention_hashtable",
+            "Supplementary C1 — hot hashtable (90% occupancy, 2x threads)",
+            exp::contention_sweep(&sweep),
+            stm_pairs,
+        );
+    }
+    if pick("ablation-stl2") {
+        emit(
+            "ablation_stl2",
+            "Ablation A1 — S-TL2 snapshot extension on/off (LRU)",
+            exp::ablation_stl2_extension(&sweep),
+            &[("S-TL2/no-extension", "S-TL2")],
+        );
+    }
+    if pick("ablation-cm") {
+        emit(
+            "ablation_cm",
+            "Ablation A3 — contention-manager policies (Bank, S-NOrec)",
+            exp::ablation_cm_policy(&sweep),
+            &[],
+        );
+    }
+    if pick("ablation-ring") {
+        emit(
+            "ablation_ring",
+            "Ablation A4 — RingSTM commit filters on/off (LRU, S-NOrec)",
+            exp::ablation_ring_filters(&sweep),
+            &[("S-NOrec", "S-NOrec/ring-filters")],
+        );
+    }
+    if pick("ablation-snorec") {
+        emit(
+            "ablation_snorec",
+            "Ablation A2 — S-NOrec read-set duplicates vs dedup (Hashtable)",
+            exp::ablation_snorec_dedup(&sweep),
+            &[("S-NOrec/dedup", "S-NOrec")],
+        );
+    }
+    println!("\ndone.");
+}

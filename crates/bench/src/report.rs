@@ -1,0 +1,167 @@
+//! Result rows and markdown/CSV emission.
+
+/// One data point of one sub-figure series.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Paper figure id, e.g. `"1a/1b"`.
+    pub figure: &'static str,
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Algorithm / configuration legend entry.
+    pub algorithm: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Left-column metric name (`throughput_ktps` or `time_s`).
+    pub metric: &'static str,
+    /// Left-column metric value.
+    pub value: f64,
+    /// Right-column metric: abort percentage.
+    pub abort_pct: f64,
+    /// Committed transactions in the interval.
+    pub commits: u64,
+    /// Conflict aborts in the interval.
+    pub aborts: u64,
+}
+
+impl FigureRow {
+    /// CSV header matching [`FigureRow::csv`].
+    pub const CSV_HEADER: &'static str =
+        "figure,benchmark,algorithm,threads,metric,value,abort_pct,commits,aborts";
+
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.4},{:.2},{},{}",
+            self.figure,
+            self.benchmark,
+            self.algorithm,
+            self.threads,
+            self.metric,
+            self.value,
+            self.abort_pct,
+            self.commits,
+            self.aborts
+        )
+    }
+}
+
+/// Render rows as a markdown table grouped like the paper's figures:
+/// one line per (algorithm, threads), value + abort columns.
+pub fn markdown_table(title: &str, rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n### {title}\n\n"));
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "| algorithm | threads | {} | abort % | commits | aborts |\n",
+        rows[0].metric
+    ));
+    out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.1} | {} | {} |\n",
+            r.algorithm, r.threads, r.value, r.abort_pct, r.commits, r.aborts
+        ));
+    }
+    out
+}
+
+/// Write rows (plus header) to `results/<name>.csv`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_csv(name: &str, rows: &[FigureRow]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::from(FigureRow::CSV_HEADER);
+    body.push('\n');
+    for r in rows {
+        body.push_str(&r.csv());
+        body.push('\n');
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Summarise the semantic-vs-base ratio per thread count: the "who wins
+/// and by how much" digest used in EXPERIMENTS.md.
+pub fn speedup_summary(rows: &[FigureRow], base: &str, semantic: &str) -> String {
+    let mut out = String::new();
+    let higher_is_better = rows.first().map(|r| r.metric) == Some("throughput_ktps");
+    for r in rows.iter().filter(|r| r.algorithm == semantic) {
+        if let Some(b) = rows
+            .iter()
+            .find(|b| b.algorithm == base && b.threads == r.threads)
+        {
+            if b.value > 0.0 && r.value > 0.0 {
+                let ratio = if higher_is_better {
+                    r.value / b.value
+                } else {
+                    b.value / r.value
+                };
+                out.push_str(&format!(
+                    "  {semantic} vs {base} @ {} threads: {ratio:.2}x (aborts {:.1}% -> {:.1}%)\n",
+                    r.threads, b.abort_pct, r.abort_pct
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(alg: &str, threads: usize, value: f64, abort: f64) -> FigureRow {
+        FigureRow {
+            figure: "1a/1b",
+            benchmark: "hashtable",
+            algorithm: alg.to_string(),
+            threads,
+            metric: "throughput_ktps",
+            value,
+            abort_pct: abort,
+            commits: 100,
+            aborts: 10,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let r = row("NOrec", 4, 12.5, 3.0);
+        let line = r.csv();
+        assert!(line.starts_with("1a/1b,hashtable,NOrec,4,throughput_ktps,12.5"));
+        assert_eq!(
+            FigureRow::CSV_HEADER.split(',').count(),
+            line.split(',').count()
+        );
+    }
+
+    #[test]
+    fn markdown_contains_all_rows() {
+        let rows = vec![row("NOrec", 2, 10.0, 5.0), row("S-NOrec", 2, 20.0, 1.0)];
+        let md = markdown_table("Fig 1a", &rows);
+        assert!(md.contains("Fig 1a"));
+        assert!(md.contains("| NOrec | 2 |"));
+        assert!(md.contains("| S-NOrec | 2 |"));
+    }
+
+    #[test]
+    fn speedup_summary_computes_ratio() {
+        let rows = vec![row("NOrec", 2, 10.0, 50.0), row("S-NOrec", 2, 25.0, 5.0)];
+        let s = speedup_summary(&rows, "NOrec", "S-NOrec");
+        assert!(s.contains("2.50x"), "{s}");
+    }
+
+    #[test]
+    fn speedup_summary_inverts_for_time_metric() {
+        let mut a = row("TL2", 4, 8.0, 40.0);
+        let mut b = row("S-TL2", 4, 4.0, 10.0);
+        a.metric = "time_s";
+        b.metric = "time_s";
+        let s = speedup_summary(&[a, b], "TL2", "S-TL2");
+        assert!(s.contains("2.00x"), "lower time must be a win: {s}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Table 3: "Average Number of Operations per Transaction" — the
+//! base-vs-semantic operation profile of every workload.
+//!
+//! Each workload runs twice single-threaded (profiles are workload
+//! properties, not concurrency properties): once under plain NOrec
+//! ("base": semantic calls delegate, so they surface as reads/writes)
+//! and once under S-NOrec ("semantic").
+
+use semtm_core::{Algorithm, StatsSnapshot, Stm, StmConfig};
+use semtm_workloads::stamp::{genome, intruder, kmeans, labyrinth, ssca2, vacation, yada};
+use semtm_workloads::{bank, hashtable, lru};
+use std::time::Duration;
+
+/// One workload's profile under one mode.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// Workload name (Table 3 column group).
+    pub benchmark: &'static str,
+    /// `base` or `semantic`.
+    pub mode: &'static str,
+    /// Average plain reads per committed transaction.
+    pub reads: f64,
+    /// Average plain writes per committed transaction.
+    pub writes: f64,
+    /// Average compares per committed transaction.
+    pub compares: f64,
+    /// Average increments per committed transaction.
+    pub increments: f64,
+    /// Average promotions per committed transaction.
+    pub promotes: f64,
+}
+
+impl ProfileRow {
+    fn from_stats(benchmark: &'static str, mode: &'static str, s: &StatsSnapshot) -> ProfileRow {
+        ProfileRow {
+            benchmark,
+            mode,
+            reads: s.reads_per_tx(),
+            writes: s.writes_per_tx(),
+            compares: s.cmps_per_tx(),
+            increments: s.incs_per_tx(),
+            promotes: s.promotes_per_tx(),
+        }
+    }
+}
+
+fn stm(alg: Algorithm, heap_pow2: u32) -> Stm {
+    Stm::new(StmConfig::new(alg).heap_words(1 << heap_pow2).orec_count(1 << 12))
+}
+
+/// Build the full Table 3 (10 workloads × 2 modes). `quick` shrinks the
+/// run lengths for smoke testing.
+pub fn table3(quick: bool) -> Vec<ProfileRow> {
+    let dur = Duration::from_millis(if quick { 40 } else { 250 });
+    let mut rows = Vec::new();
+    for (mode, alg) in [("base", Algorithm::NOrec), ("semantic", Algorithm::SNOrec)] {
+        // Hashtable
+        {
+            let s = stm(alg, 16);
+            let cfg = hashtable::HashtableConfig {
+                capacity: if quick { 1 << 9 } else { 1 << 12 },
+                ..hashtable::HashtableConfig::default()
+            };
+            hashtable::run(&s, cfg, 1, dur, 7);
+            rows.push(ProfileRow::from_stats("Hashtable", mode, &s.stats()));
+        }
+        // Bank
+        {
+            let s = stm(alg, 12);
+            bank::run(&s, bank::BankConfig::default(), 1, dur, 7);
+            rows.push(ProfileRow::from_stats("Bank", mode, &s.stats()));
+        }
+        // LRU
+        {
+            let s = stm(alg, 16);
+            lru::run(&s, lru::LruConfig::default(), 1, dur, 7);
+            rows.push(ProfileRow::from_stats("LRU", mode, &s.stats()));
+        }
+        // Vacation
+        {
+            let s = stm(alg, 22);
+            let cfg = vacation::VacationConfig::default();
+            vacation::run(&s, cfg, 1, if quick { 200 } else { 2000 }, 7);
+            rows.push(ProfileRow::from_stats("Vacation", mode, &s.stats()));
+        }
+        // Kmeans
+        {
+            let s = stm(alg, 14);
+            let cfg = kmeans::KmeansConfig {
+                points: if quick { 256 } else { 2048 },
+                features: 24,
+                max_iterations: 3,
+                ..kmeans::KmeansConfig::default()
+            };
+            kmeans::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("Kmeans", mode, &s.stats()));
+        }
+        // Labyrinth
+        {
+            let s = stm(alg, 14);
+            let cfg = labyrinth::LabyrinthConfig {
+                x: 24,
+                y: 24,
+                z: 3,
+                pairs: if quick { 12 } else { 40 },
+                wall_pct: 10,
+                variant: labyrinth::Variant::CopyOutsideTx,
+            };
+            labyrinth::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("Labyrinth", mode, &s.stats()));
+        }
+        // Yada
+        {
+            let s = stm(alg, 22);
+            let cfg = yada::YadaConfig {
+                elements: if quick { 128 } else { 512 },
+                ..yada::YadaConfig::default()
+            };
+            yada::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("Yada", mode, &s.stats()));
+        }
+        // SSCA2
+        {
+            let s = stm(alg, 18);
+            let cfg = ssca2::Ssca2Config {
+                edges: if quick { 512 } else { 4096 },
+                ..ssca2::Ssca2Config::default()
+            };
+            ssca2::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("SSCA2", mode, &s.stats()));
+        }
+        // Genome
+        {
+            let s = stm(alg, 18);
+            let cfg = genome::GenomeConfig {
+                segments: if quick { 512 } else { 4096 },
+                ..genome::GenomeConfig::default()
+            };
+            genome::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("Genome", mode, &s.stats()));
+        }
+        // Intruder
+        {
+            let s = stm(alg, 18);
+            let cfg = intruder::IntruderConfig {
+                flows: if quick { 64 } else { 256 },
+                ..intruder::IntruderConfig::default()
+            };
+            intruder::run(&s, cfg, 1, 7);
+            rows.push(ProfileRow::from_stats("Intruder", mode, &s.stats()));
+        }
+    }
+    rows
+}
+
+/// Render Table 3 as markdown, paper-style: one row per operation type,
+/// one column pair (base, semantic) per workload.
+pub fn markdown(rows: &[ProfileRow]) -> String {
+    let benchmarks: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for r in rows {
+            if !seen.contains(&r.benchmark) {
+                seen.push(r.benchmark);
+            }
+        }
+        seen
+    };
+    let get = |b: &str, mode: &str| rows.iter().find(|r| r.benchmark == b && r.mode == mode);
+    let mut out = String::from("\n### Table 3: average operations per transaction\n\n");
+    out.push_str("| op |");
+    for b in &benchmarks {
+        out.push_str(&format!(" {b} base | {b} sem |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &benchmarks {
+        out.push_str("---:|---:|");
+    }
+    out.push('\n');
+    type Sel = fn(&ProfileRow) -> f64;
+    let metrics: [(&str, Sel); 5] = [
+        ("Read", |r| r.reads),
+        ("Write", |r| r.writes),
+        ("Compare", |r| r.compares),
+        ("Increment", |r| r.increments),
+        ("Promote", |r| r.promotes),
+    ];
+    for (name, sel) in metrics {
+        out.push_str(&format!("| {name} |"));
+        for b in &benchmarks {
+            for mode in ["base", "semantic"] {
+                match get(b, mode) {
+                    Some(r) => out.push_str(&format!(" {:.2} |", sel(r))),
+                    None => out.push_str(" - |"),
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV emission for `results/table3.csv`.
+pub fn csv(rows: &[ProfileRow]) -> String {
+    let mut out = String::from("benchmark,mode,reads,writes,compares,increments,promotes\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            r.benchmark, r.mode, r.reads, r.writes, r.compares, r.increments, r.promotes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_twenty_rows_and_expected_shape() {
+        let rows = table3(true);
+        assert_eq!(rows.len(), 20, "10 workloads x 2 modes");
+
+        let find = |b: &str, m: &str| {
+            rows.iter()
+                .find(|r| r.benchmark == b && r.mode == m)
+                .unwrap()
+        };
+        // Paper shape checks (Table 3):
+        // Hashtable: all base reads become compares.
+        assert_eq!(find("Hashtable", "semantic").reads, 0.0);
+        assert!(find("Hashtable", "semantic").compares > 10.0);
+        assert!(find("Hashtable", "base").reads > 10.0);
+        assert_eq!(find("Hashtable", "base").compares, 0.0);
+        // Kmeans: base read/write pairs become pure increments.
+        assert_eq!(find("Kmeans", "semantic").reads, 0.0);
+        assert!(find("Kmeans", "semantic").increments > 10.0);
+        assert!(find("Kmeans", "base").reads > 10.0);
+        // Vacation: semantic mode keeps most reads plain and promotes.
+        let v = find("Vacation", "semantic");
+        assert!(v.reads > v.compares);
+        assert!(v.promotes > 0.0);
+        // Intruder: no semantic ops in either mode; Genome: only the
+        // tiny phase-2 claim-check residue (paper: 0.06 compares/tx).
+        assert_eq!(find("Intruder", "semantic").compares, 0.0);
+        assert_eq!(find("Intruder", "semantic").increments, 0.0);
+        let genome = find("Genome", "semantic");
+        assert!(
+            genome.compares < 0.1 * genome.reads,
+            "claim checks must stay a residue of the read traffic: {} cmps vs {} reads",
+            genome.compares,
+            genome.reads
+        );
+        assert_eq!(genome.increments, 0.0);
+        // SSCA2: exactly one increment per transaction in semantic mode.
+        assert!((find("SSCA2", "semantic").increments - 1.0).abs() < 1e-9);
+
+        let md = markdown(&rows);
+        assert!(md.contains("Hashtable base"));
+        let c = csv(&rows);
+        assert_eq!(c.lines().count(), 21);
+    }
+}

@@ -1,0 +1,137 @@
+//! Contention management.
+//!
+//! When a transaction aborts, *how* it retries shapes throughput under
+//! contention (Scherer & Scott, PODC 2005 — the paper's \[22\]). The
+//! algorithms in this crate resolve conflicts by aborting the reader /
+//! later committer, so the contention manager's job reduces to pacing
+//! retries. Four classic policies are provided; the default is
+//! randomised exponential backoff ("Polite"), which is what the
+//! evaluation uses.
+
+use crate::error::AbortReason;
+use crate::util::SplitMix64;
+
+/// Retry-pacing policy applied between transaction attempts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmPolicy {
+    /// Retry immediately. Maximises wasted work under contention but
+    /// has the lowest latency when conflicts are rare.
+    Aggressive,
+    /// Randomised exponential backoff (default; the "Polite" manager).
+    Backoff,
+    /// Linear backoff: attempt `n` spins `O(n)` — gentler ramp for
+    /// short transactions.
+    Linear,
+    /// Yield the OS thread every retry — the right choice on
+    /// oversubscribed machines (more runnable threads than cores).
+    Yield,
+}
+
+impl CmPolicy {
+    /// All policies (for sweeps and tests).
+    pub const ALL: [CmPolicy; 4] = [
+        CmPolicy::Aggressive,
+        CmPolicy::Backoff,
+        CmPolicy::Linear,
+        CmPolicy::Yield,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmPolicy::Aggressive => "aggressive",
+            CmPolicy::Backoff => "backoff",
+            CmPolicy::Linear => "linear",
+            CmPolicy::Yield => "yield",
+        }
+    }
+}
+
+/// Per-transaction-context contention manager state.
+#[derive(Clone, Debug)]
+pub struct ContentionManager {
+    policy: CmPolicy,
+    rng: SplitMix64,
+    min_spins: u32,
+    max_spins: u32,
+}
+
+impl ContentionManager {
+    /// Create a manager for one executing context.
+    pub fn new(policy: CmPolicy, seed: u64, min_spins: u32, max_spins: u32) -> ContentionManager {
+        ContentionManager {
+            policy,
+            rng: SplitMix64::new(seed),
+            min_spins: min_spins.max(1),
+            max_spins: max_spins.max(2),
+        }
+    }
+
+    /// Pace before retry number `attempt` (0-based) after an abort for
+    /// `reason`. Explicit (workload-logic) retries always just yield:
+    /// spinning cannot make the awaited state change on this core.
+    pub fn pause(&mut self, attempt: u32, reason: AbortReason) {
+        if reason == AbortReason::Explicit {
+            std::thread::yield_now();
+            return;
+        }
+        match self.policy {
+            CmPolicy::Aggressive => {}
+            CmPolicy::Backoff => {
+                let ceiling = self
+                    .min_spins
+                    .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+                    .min(self.max_spins);
+                let spins = self.min_spins as u64 + self.rng.below(ceiling.max(2) as u64);
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+                if attempt > 4 {
+                    std::thread::yield_now();
+                }
+            }
+            CmPolicy::Linear => {
+                let spins = (self.min_spins as u64)
+                    .saturating_mul(attempt as u64 + 1)
+                    .min(self.max_spins as u64);
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+                if attempt > 16 {
+                    std::thread::yield_now();
+                }
+            }
+            CmPolicy::Yield => std::thread::yield_now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = CmPolicy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CmPolicy::ALL.len());
+    }
+
+    #[test]
+    fn every_policy_pauses_without_panicking() {
+        for policy in CmPolicy::ALL {
+            let mut cm = ContentionManager::new(policy, 7, 4, 64);
+            for attempt in 0..40 {
+                cm.pause(attempt, AbortReason::Validation);
+                cm.pause(attempt, AbortReason::Explicit);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_huge_attempt_saturates() {
+        let mut cm = ContentionManager::new(CmPolicy::Backoff, 1, 1, 16);
+        cm.pause(u32::MAX, AbortReason::Locked); // must not overflow
+    }
+}

@@ -1,0 +1,195 @@
+//! Runtime configuration: algorithm selection and tuning knobs.
+
+use crate::cm::CmPolicy;
+
+/// Which STM algorithm a [`crate::Stm`] instance runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Algorithm {
+    /// Baseline NOrec (value-based validation, single global sequence
+    /// lock). Semantic API calls are delegated to plain reads/writes.
+    NOrec,
+    /// S-NOrec — the paper's Algorithm 6: NOrec with semantic validation
+    /// of the read-set and deferred `inc` entries in the write-set.
+    SNOrec,
+    /// Baseline TL2 (version-based validation over an ownership-record
+    /// table). Semantic API calls are delegated to plain reads/writes.
+    Tl2,
+    /// S-TL2 — the paper's Algorithm 7: TL2 with a compare-set, three-phase
+    /// execution with snapshot extension, and a CAS-based commit timestamp.
+    STl2,
+}
+
+impl Algorithm {
+    /// Whether this algorithm handles `cmp`/`inc` semantically (rather
+    /// than delegating them to plain read/write barriers).
+    #[inline]
+    pub fn is_semantic(self) -> bool {
+        matches!(self, Algorithm::SNOrec | Algorithm::STl2)
+    }
+
+    /// The non-semantic baseline this algorithm extends (identity for the
+    /// baselines themselves).
+    pub fn baseline(self) -> Algorithm {
+        match self {
+            Algorithm::NOrec | Algorithm::SNOrec => Algorithm::NOrec,
+            Algorithm::Tl2 | Algorithm::STl2 => Algorithm::Tl2,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NOrec => "NOrec",
+            Algorithm::SNOrec => "S-NOrec",
+            Algorithm::Tl2 => "TL2",
+            Algorithm::STl2 => "S-TL2",
+        }
+    }
+
+    /// All four algorithms, in the paper's legend order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::NOrec,
+        Algorithm::SNOrec,
+        Algorithm::Tl2,
+        Algorithm::STl2,
+    ];
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Construction-time configuration for an [`crate::Stm`].
+#[derive(Clone, Debug)]
+pub struct StmConfig {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Transactional heap capacity in 64-bit words.
+    pub heap_words: usize,
+    /// Number of ownership records (TL2 family). Rounded up to a power of
+    /// two; addresses map to orecs by masking.
+    pub orec_count: usize,
+    /// Spins to wait on a locked orec before aborting with `Timeout`
+    /// (the paper's starvation-avoidance timeout, §4.2).
+    pub lock_wait_spins: u32,
+    /// Minimum contention-manager backoff spins.
+    pub backoff_min_spins: u32,
+    /// Maximum contention-manager backoff spins.
+    pub backoff_max_spins: u32,
+    /// Retry-pacing policy applied between attempts.
+    pub cm_policy: CmPolicy,
+    /// S-TL2 ablation knob: disable the phase-1 snapshot-extension
+    /// optimisation (Algorithm 7 lines 19–25). With extension disabled,
+    /// phase-1 `cmp`s validate like phase-2 ones. Default `true`.
+    pub stl2_snapshot_extension: bool,
+    /// NOrec-family accelerator: publish RingSTM-style per-commit write
+    /// filters and skip read-set revalidation when no missed commit's
+    /// filter intersects the transaction's read filter ([`crate::ring`];
+    /// ablation A4). Default `false` — plain NOrec/S-NOrec.
+    pub norec_ring_filters: bool,
+    /// S-NOrec ablation knob: deduplicate read-set entries for repeated
+    /// reads of the same address instead of appending duplicates (§4.1
+    /// "read after read" discussion). Default `false` — the paper appends
+    /// duplicates, judging the dedup lookup cost not worth it.
+    pub snorec_dedup_reads: bool,
+}
+
+impl StmConfig {
+    /// Reasonable defaults for the given algorithm (16 Mi-word heap,
+    /// 2^16 orecs).
+    pub fn new(algorithm: Algorithm) -> StmConfig {
+        StmConfig {
+            algorithm,
+            heap_words: 1 << 24,
+            orec_count: 1 << 16,
+            lock_wait_spins: 4096,
+            backoff_min_spins: 16,
+            backoff_max_spins: 8192,
+            cm_policy: CmPolicy::Backoff,
+            norec_ring_filters: false,
+            stl2_snapshot_extension: true,
+            snorec_dedup_reads: false,
+        }
+    }
+
+    /// Builder-style heap-size override (in words).
+    pub fn heap_words(mut self, words: usize) -> StmConfig {
+        self.heap_words = words;
+        self
+    }
+
+    /// Builder-style orec-count override.
+    pub fn orec_count(mut self, count: usize) -> StmConfig {
+        self.orec_count = count;
+        self
+    }
+
+    /// Builder-style lock-wait patience override.
+    pub fn lock_wait_spins(mut self, spins: u32) -> StmConfig {
+        self.lock_wait_spins = spins;
+        self
+    }
+
+    /// Builder-style contention-manager policy override.
+    pub fn cm_policy(mut self, policy: CmPolicy) -> StmConfig {
+        self.cm_policy = policy;
+        self
+    }
+
+    /// Builder-style toggle for the S-TL2 snapshot-extension optimisation.
+    pub fn stl2_snapshot_extension(mut self, on: bool) -> StmConfig {
+        self.stl2_snapshot_extension = on;
+        self
+    }
+
+    /// Builder-style toggle for the RingSTM-filter validation fast path.
+    pub fn norec_ring_filters(mut self, on: bool) -> StmConfig {
+        self.norec_ring_filters = on;
+        self
+    }
+
+    /// Builder-style toggle for S-NOrec read-set deduplication.
+    pub fn snorec_dedup_reads(mut self, on: bool) -> StmConfig {
+        self.snorec_dedup_reads = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantic_flags() {
+        assert!(!Algorithm::NOrec.is_semantic());
+        assert!(Algorithm::SNOrec.is_semantic());
+        assert!(!Algorithm::Tl2.is_semantic());
+        assert!(Algorithm::STl2.is_semantic());
+    }
+
+    #[test]
+    fn baselines() {
+        assert_eq!(Algorithm::SNOrec.baseline(), Algorithm::NOrec);
+        assert_eq!(Algorithm::STl2.baseline(), Algorithm::Tl2);
+        assert_eq!(Algorithm::NOrec.baseline(), Algorithm::NOrec);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = StmConfig::new(Algorithm::STl2)
+            .cm_policy(CmPolicy::Yield)
+            .heap_words(128)
+            .orec_count(32)
+            .lock_wait_spins(7)
+            .stl2_snapshot_extension(false)
+            .snorec_dedup_reads(true);
+        assert_eq!(c.heap_words, 128);
+        assert_eq!(c.orec_count, 32);
+        assert_eq!(c.lock_wait_spins, 7);
+        assert!(!c.stl2_snapshot_extension);
+        assert!(c.snorec_dedup_reads);
+        assert_eq!(c.cm_policy, CmPolicy::Yield);
+    }
+}

@@ -1,0 +1,125 @@
+//! Abort signalling.
+//!
+//! Transaction bodies return `Result<T, Abort>`; the runtime's retry loop
+//! in [`crate::stm::Stm::atomic`] catches `Err(Abort)` from any barrier,
+//! rolls the transaction back, applies contention-manager backoff and
+//! re-executes the body. The reason is kept for statistics (the paper's
+//! abort-rate plots distinguish nothing finer than "aborted", but the
+//! breakdown is useful for the ablation benches).
+
+/// Why a transaction attempt must be rolled back and retried.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AbortReason {
+    /// Read-set / compare-set validation failed: a concurrent commit
+    /// changed a value (NOrec) or an orec version (TL2) in a way that the
+    /// recorded relation no longer holds.
+    Validation,
+    /// A needed ownership record was locked by a concurrent committer
+    /// (TL2 family only).
+    Locked,
+    /// Waited on a locked orec past the configured patience (the paper's
+    /// "timeout mechanism to avoid starvation", §4.2).
+    Timeout,
+    /// Commit-time lock acquisition failed (TL2 family only).
+    LockAcquire,
+    /// The program itself requested a retry via [`Abort::explicit`].
+    Explicit,
+}
+
+impl AbortReason {
+    /// Stable display name used in stats tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Validation => "validation",
+            AbortReason::Locked => "locked",
+            AbortReason::Timeout => "timeout",
+            AbortReason::LockAcquire => "lock-acquire",
+            AbortReason::Explicit => "explicit",
+        }
+    }
+}
+
+/// A request to abort the current transaction attempt.
+///
+/// `Abort` is a value, not a panic: STM barriers return
+/// `Result<_, Abort>` and the `?` operator unwinds the body cleanly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Abort {
+    /// The cause, recorded in statistics.
+    pub reason: AbortReason,
+}
+
+impl Abort {
+    /// Abort due to failed (semantic) validation.
+    #[inline]
+    pub fn validation() -> Abort {
+        Abort {
+            reason: AbortReason::Validation,
+        }
+    }
+
+    /// Abort because a concurrent committer holds a needed orec.
+    #[inline]
+    pub fn locked() -> Abort {
+        Abort {
+            reason: AbortReason::Locked,
+        }
+    }
+
+    /// Abort after exhausting the lock-wait patience.
+    #[inline]
+    pub fn timeout() -> Abort {
+        Abort {
+            reason: AbortReason::Timeout,
+        }
+    }
+
+    /// Abort because commit-time write-lock acquisition failed.
+    #[inline]
+    pub fn lock_acquire() -> Abort {
+        Abort {
+            reason: AbortReason::LockAcquire,
+        }
+    }
+
+    /// Programmer-requested retry (e.g. "queue is full, retry later").
+    #[inline]
+    pub fn explicit() -> Abort {
+        Abort {
+            reason: AbortReason::Explicit,
+        }
+    }
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted ({})", self.reason.name())
+    }
+}
+
+impl std::error::Error for Abort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_have_distinct_names() {
+        let all = [
+            AbortReason::Validation,
+            AbortReason::Locked,
+            AbortReason::Timeout,
+            AbortReason::LockAcquire,
+            AbortReason::Explicit,
+        ];
+        let mut names: Vec<_> = all.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn display_mentions_reason() {
+        assert!(Abort::timeout().to_string().contains("timeout"));
+    }
+}

@@ -1,0 +1,187 @@
+//! The word-addressable transactional heap.
+//!
+//! All shared state accessed by transactions lives in a [`Heap`]: a flat,
+//! pre-sized array of 64-bit words. An [`Addr`] is an index into that
+//! array. This mirrors how the paper's STM algorithms (and RSTM / libitm)
+//! treat memory: conflict detection happens at the granularity of machine
+//! words identified by their address, with no knowledge of higher-level
+//! types. The typed layer in [`crate::tvar`] is purely a convenience on
+//! top.
+//!
+//! Allocation is a thread-safe bump pointer plus an optional free list of
+//! fixed-size blocks (enough for the STAMP-style workloads, which allocate
+//! nodes of a handful of distinct sizes and recycle them through pools).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Index of a 64-bit word in the transactional [`Heap`].
+///
+/// `Addr` is the "memory address" of the paper's `TM_READ(addr)` /
+/// `TM_WRITE(addr)` / `TM_GT(addr, ..)` constructs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Addr(pub(crate) u32);
+
+impl Addr {
+    /// Address `self + i` — used for indexing into heap-allocated arrays.
+    #[inline]
+    pub fn offset(self, i: usize) -> Addr {
+        Addr(self.0 + i as u32)
+    }
+
+    /// The raw word index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct an address from a raw word index.
+    ///
+    /// Intended for (de)serialising addresses across the IR boundary; the
+    /// address must have been produced by an allocation on the same heap.
+    #[inline]
+    pub fn from_index(i: usize) -> Addr {
+        Addr(u32::try_from(i).expect("heap address out of range"))
+    }
+}
+
+/// A flat shared memory of 64-bit words.
+///
+/// Words hold `i64` values stored as raw bit patterns. Non-transactional
+/// accessors (`load` / `store`) are provided for initialisation and for
+/// checking results outside transactions; during concurrent execution all
+/// accesses must go through a transaction.
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    next: AtomicUsize,
+}
+
+impl Heap {
+    /// Create a heap with capacity for `capacity` words, all zeroed.
+    pub fn new(capacity: usize) -> Heap {
+        let mut v = Vec::with_capacity(capacity);
+        v.resize_with(capacity, || AtomicU64::new(0));
+        Heap {
+            words: v.into_boxed_slice(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of words this heap can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of words allocated so far.
+    #[inline]
+    pub fn allocated(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.words.len())
+    }
+
+    /// Allocate `n` contiguous words (zero-initialised at heap creation;
+    /// reused blocks are *not* re-zeroed — callers that recycle memory
+    /// through pools must initialise it).
+    ///
+    /// # Panics
+    /// Panics if the heap is exhausted; the heap is a fixed-size arena by
+    /// design (matching the static memory model of conflict detection —
+    /// addresses stay meaningful for the lifetime of the `Stm`).
+    pub fn alloc(&self, n: usize) -> Addr {
+        assert!(n > 0, "zero-sized allocation");
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        assert!(
+            start + n <= self.words.len(),
+            "transactional heap exhausted: capacity {} words, requested {} more",
+            self.words.len(),
+            n
+        );
+        Addr(start as u32)
+    }
+
+    /// Non-transactional (racy w.r.t. running transactions) word load.
+    #[inline]
+    pub fn load(&self, a: Addr) -> i64 {
+        self.words[a.0 as usize].load(Ordering::SeqCst) as i64
+    }
+
+    /// Non-transactional word store. Only safe for program logic when no
+    /// transaction is concurrently running (setup / teardown phases).
+    #[inline]
+    pub fn store(&self, a: Addr, v: i64) {
+        self.words[a.0 as usize].store(v as u64, Ordering::SeqCst);
+    }
+
+    /// Word load used by the STM algorithms themselves.
+    #[inline]
+    pub(crate) fn tm_load(&self, a: Addr) -> i64 {
+        self.words[a.0 as usize].load(Ordering::SeqCst) as i64
+    }
+
+    /// Word store used by the STM algorithms at commit time (caller must
+    /// hold the appropriate lock: the NOrec sequence lock or the TL2 orec).
+    #[inline]
+    pub(crate) fn tm_store(&self, a: Addr, v: i64) {
+        self.words[a.0 as usize].store(v as u64, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("capacity", &self.capacity())
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_contiguous_and_monotonic() {
+        let h = Heap::new(16);
+        let a = h.alloc(4);
+        let b = h.alloc(2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 4);
+        assert_eq!(a.offset(3).index(), 3);
+        assert_eq!(h.allocated(), 6);
+    }
+
+    #[test]
+    fn load_store_roundtrip_negative() {
+        let h = Heap::new(4);
+        let a = h.alloc(1);
+        h.store(a, -123456789);
+        assert_eq!(h.load(a), -123456789);
+        h.store(a, i64::MIN);
+        assert_eq!(h.load(a), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_past_capacity_panics() {
+        let h = Heap::new(2);
+        let _ = h.alloc(3);
+    }
+
+    #[test]
+    fn concurrent_alloc_never_overlaps() {
+        let h = std::sync::Arc::new(Heap::new(4096));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..64).map(|_| h.alloc(4).index()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * 64, "allocations overlapped");
+    }
+}

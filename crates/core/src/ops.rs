@@ -1,0 +1,157 @@
+//! Semantic comparison operators (the paper's Table 1, conditional family).
+//!
+//! A `cmp` records *which relation held*, not *which value was read*. The
+//! recorded entry is the operator itself when the comparison was true, or
+//! its [inverse](CmpOp::inverse) when it was false, so that validation can
+//! simply re-evaluate "does the recorded relation still hold?" (Algorithm 6
+//! line 5, Algorithm 7 line 63).
+
+/// The six TM-friendly conditional operators: `TM_EQ`, `TM_NEQ`, `TM_GT`,
+/// `TM_GTE`, `TM_LT`, `TM_LTE`.
+///
+/// Operands are compared with signed 64-bit semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CmpOp {
+    /// `TM_EQ` — equals.
+    Eq,
+    /// `TM_NEQ` — not equals.
+    Neq,
+    /// `TM_GT` — strictly greater than.
+    Gt,
+    /// `TM_GTE` — greater than or equals.
+    Gte,
+    /// `TM_LT` — strictly less than.
+    Lt,
+    /// `TM_LTE` — less than or equals.
+    Lte,
+}
+
+impl CmpOp {
+    /// Evaluate `lhs OP rhs`.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Neq => lhs != rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Gte => lhs >= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Lte => lhs <= rhs,
+        }
+    }
+
+    /// The logical negation of the operator: `!(a OP b) == a OP.inverse() b`.
+    ///
+    /// Used when recording a comparison whose outcome was `false`
+    /// (Algorithm 6 line 34: `reads.append(addr, operand, result ? OP :
+    /// Inverse(OP))`).
+    #[inline]
+    pub fn inverse(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Gt => CmpOp::Lte,
+            CmpOp::Gte => CmpOp::Lt,
+            CmpOp::Lt => CmpOp::Gte,
+            CmpOp::Lte => CmpOp::Gt,
+        }
+    }
+
+    /// The mirrored operator: `a OP b == b OP.swap() a`.
+    ///
+    /// Needed by the address–address form when only the right-hand operand
+    /// is pinned by the transaction's own write-set.
+    #[inline]
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Gte => CmpOp::Lte,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Lte => CmpOp::Gte,
+        }
+    }
+
+    /// All six operators, for tests and exhaustive sweeps.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Gt,
+        CmpOp::Gte,
+        CmpOp::Lt,
+        CmpOp::Lte,
+    ];
+
+    /// Short lowercase mnemonic (`eq`, `neq`, `gt`, `gte`, `lt`, `lte`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Neq => "neq",
+            CmpOp::Gt => "gt",
+            CmpOp::Gte => "gte",
+            CmpOp::Lt => "lt",
+            CmpOp::Lte => "lte",
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Neq => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Gte => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Lte => "<=",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: [i64; 7] = [i64::MIN, -7, -1, 0, 1, 42, i64::MAX];
+
+    #[test]
+    fn inverse_is_logical_negation() {
+        for op in CmpOp::ALL {
+            for &a in &SAMPLES {
+                for &b in &SAMPLES {
+                    assert_eq!(
+                        op.eval(a, b),
+                        !op.inverse().eval(a, b),
+                        "{a} {op} {b} vs inverse"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.inverse().inverse(), op);
+        }
+    }
+
+    #[test]
+    fn swap_mirrors_operands() {
+        for op in CmpOp::ALL {
+            for &a in &SAMPLES {
+                for &b in &SAMPLES {
+                    assert_eq!(op.eval(a, b), op.swap().eval(b, a), "{a} {op} {b} vs swap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_semantics() {
+        assert!(CmpOp::Gt.eval(0, -1));
+        assert!(CmpOp::Lt.eval(i64::MIN, 0));
+        assert!(!CmpOp::Gt.eval(-1, 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Runtime statistics.
+//!
+//! Reproduces the measurement infrastructure behind the paper's Table 3
+//! ("average number of invocations per operation type per transaction")
+//! and the abort-rate series of Figures 1 and 2.
+//!
+//! Transactions accumulate operation counts locally; counts are flushed to
+//! the shared [`Stats`] only when the transaction **commits** (so the
+//! per-transaction averages are per *committed* transaction, as in the
+//! paper's Table 3). Aborts are counted per attempt, by reason.
+
+use crate::error::AbortReason;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-transaction operation counters, accumulated locally while the
+/// transaction runs.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Plain transactional reads (`TM_READ`).
+    pub reads: u64,
+    /// Plain transactional writes (`TM_WRITE`).
+    pub writes: u64,
+    /// Semantic comparisons, address–value form (`_ITM_S1R`).
+    pub cmps: u64,
+    /// Semantic comparisons, address–address form (`_ITM_S2R`).
+    pub cmp_pairs: u64,
+    /// Semantic increments/decrements (`_ITM_SW`).
+    pub incs: u64,
+    /// `inc` entries promoted to read+write by a later read of the same
+    /// address (Algorithm 6, lines 18–22).
+    pub promotes: u64,
+}
+
+impl OpCounts {
+    /// Reset all counters to zero (reused across retries).
+    pub fn clear(&mut self) {
+        *self = OpCounts::default();
+    }
+}
+
+/// Shared, thread-safe statistics for one [`crate::Stm`] instance.
+#[derive(Default)]
+pub struct Stats {
+    commits: AtomicU64,
+    aborts_validation: AtomicU64,
+    aborts_locked: AtomicU64,
+    aborts_timeout: AtomicU64,
+    aborts_lock_acquire: AtomicU64,
+    aborts_explicit: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cmps: AtomicU64,
+    cmp_pairs: AtomicU64,
+    incs: AtomicU64,
+    promotes: AtomicU64,
+}
+
+impl Stats {
+    /// Record a committed transaction together with its operation counts.
+    pub fn record_commit(&self, ops: &OpCounts) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(ops.reads, Ordering::Relaxed);
+        self.writes.fetch_add(ops.writes, Ordering::Relaxed);
+        self.cmps.fetch_add(ops.cmps, Ordering::Relaxed);
+        self.cmp_pairs.fetch_add(ops.cmp_pairs, Ordering::Relaxed);
+        self.incs.fetch_add(ops.incs, Ordering::Relaxed);
+        self.promotes.fetch_add(ops.promotes, Ordering::Relaxed);
+    }
+
+    /// Record an aborted attempt.
+    pub fn record_abort(&self, reason: AbortReason) {
+        let ctr = match reason {
+            AbortReason::Validation => &self.aborts_validation,
+            AbortReason::Locked => &self.aborts_locked,
+            AbortReason::Timeout => &self.aborts_timeout,
+            AbortReason::LockAcquire => &self.aborts_lock_acquire,
+            AbortReason::Explicit => &self.aborts_explicit,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot (counters are independently
+    /// relaxed; exact cross-counter consistency is not needed for
+    /// reporting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            aborts_locked: self.aborts_locked.load(Ordering::Relaxed),
+            aborts_timeout: self.aborts_timeout.load(Ordering::Relaxed),
+            aborts_lock_acquire: self.aborts_lock_acquire.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cmps: self.cmps.load(Ordering::Relaxed),
+            cmp_pairs: self.cmp_pairs.load(Ordering::Relaxed),
+            incs: self.incs.load(Ordering::Relaxed),
+            promotes: self.promotes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Stats`], with derived metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborts due to failed (semantic) validation.
+    pub aborts_validation: u64,
+    /// Aborts due to encountering a locked orec.
+    pub aborts_locked: u64,
+    /// Aborts after lock-wait timeout.
+    pub aborts_timeout: u64,
+    /// Aborts during commit-time lock acquisition.
+    pub aborts_lock_acquire: u64,
+    /// Programmer-requested retries.
+    pub aborts_explicit: u64,
+    /// Total `TM_READ` calls in committed transactions.
+    pub reads: u64,
+    /// Total `TM_WRITE` calls in committed transactions.
+    pub writes: u64,
+    /// Total address–value `cmp` calls in committed transactions.
+    pub cmps: u64,
+    /// Total address–address `cmp` calls in committed transactions.
+    pub cmp_pairs: u64,
+    /// Total `inc` calls in committed transactions.
+    pub incs: u64,
+    /// Total promoted `inc` entries in committed transactions.
+    pub promotes: u64,
+}
+
+impl StatsSnapshot {
+    /// All aborts, regardless of reason. Explicit retries are excluded:
+    /// they are workload logic (e.g. "buffer full"), not concurrency
+    /// conflicts, and the paper's abort-rate plots measure conflicts.
+    pub fn conflict_aborts(&self) -> u64 {
+        self.aborts_validation + self.aborts_locked + self.aborts_timeout + self.aborts_lock_acquire
+    }
+
+    /// Abort percentage: conflicts / (commits + conflicts) × 100 — the
+    /// y-axis of the paper's abort plots.
+    pub fn abort_pct(&self) -> f64 {
+        let attempts = self.commits + self.conflict_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.conflict_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Average of `what` per committed transaction.
+    fn per_commit(&self, what: u64) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            what as f64 / self.commits as f64
+        }
+    }
+
+    /// Average plain reads per committed transaction (Table 3 "Read").
+    pub fn reads_per_tx(&self) -> f64 {
+        self.per_commit(self.reads)
+    }
+    /// Average plain writes per committed transaction (Table 3 "Write").
+    pub fn writes_per_tx(&self) -> f64 {
+        self.per_commit(self.writes)
+    }
+    /// Average comparisons per committed transaction (Table 3 "Compare";
+    /// both operand forms).
+    pub fn cmps_per_tx(&self) -> f64 {
+        self.per_commit(self.cmps + self.cmp_pairs)
+    }
+    /// Average increments per committed transaction (Table 3 "Increment").
+    pub fn incs_per_tx(&self) -> f64 {
+        self.per_commit(self.incs)
+    }
+    /// Average promotions per committed transaction (Table 3 "Promote").
+    pub fn promotes_per_tx(&self) -> f64 {
+        self.per_commit(self.promotes)
+    }
+
+    /// Difference against an earlier snapshot (for measuring an interval).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            aborts_locked: self.aborts_locked - earlier.aborts_locked,
+            aborts_timeout: self.aborts_timeout - earlier.aborts_timeout,
+            aborts_lock_acquire: self.aborts_lock_acquire - earlier.aborts_lock_acquire,
+            aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cmps: self.cmps - earlier.cmps,
+            cmp_pairs: self.cmp_pairs - earlier.cmp_pairs,
+            incs: self.incs - earlier.incs,
+            promotes: self.promotes - earlier.promotes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_flushes_op_counts() {
+        let s = Stats::default();
+        let ops = OpCounts {
+            reads: 3,
+            writes: 1,
+            cmps: 2,
+            cmp_pairs: 1,
+            incs: 4,
+            promotes: 1,
+        };
+        s.record_commit(&ops);
+        s.record_commit(&ops);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.reads_per_tx(), 3.0);
+        assert_eq!(snap.cmps_per_tx(), 3.0); // 2 + 1 pair
+        assert_eq!(snap.incs_per_tx(), 4.0);
+        assert_eq!(snap.promotes_per_tx(), 1.0);
+    }
+
+    #[test]
+    fn abort_pct_excludes_explicit() {
+        let s = Stats::default();
+        s.record_commit(&OpCounts::default());
+        s.record_abort(AbortReason::Validation);
+        s.record_abort(AbortReason::Explicit);
+        let snap = s.snapshot();
+        assert_eq!(snap.conflict_aborts(), 1);
+        assert!((snap.abort_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_computes_interval() {
+        let s = Stats::default();
+        s.record_commit(&OpCounts::default());
+        let t0 = s.snapshot();
+        s.record_commit(&OpCounts {
+            reads: 5,
+            ..OpCounts::default()
+        });
+        s.record_abort(AbortReason::Locked);
+        let d = s.snapshot().since(&t0);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.aborts_locked, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_rates() {
+        let snap = Stats::default().snapshot();
+        assert_eq!(snap.abort_pct(), 0.0);
+        assert_eq!(snap.reads_per_tx(), 0.0);
+    }
+}

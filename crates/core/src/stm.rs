@@ -1,0 +1,442 @@
+//! The runtime front object: [`Stm`] owns the heap, the algorithm's global
+//! state and the statistics; [`Stm::atomic`] runs a closure as a
+//! transaction with automatic retry; [`Tx`] exposes the extended TM API of
+//! the paper's Table 1 (`read`, `write`, `cmp`, `cmp_addr`, `inc`).
+//!
+//! For non-semantic algorithms (`NOrec`, `Tl2`) the semantic entry points
+//! **delegate**: `cmp` becomes a plain read plus a local comparison and
+//! `inc` becomes read + write — exactly how the unmodified TM algorithms
+//! in libitm implement the new ABI calls (paper §6). This keeps every
+//! workload source-identical across all four algorithms, which is what
+//! makes the base-vs-semantic columns of Table 3 and the figure legends
+//! directly comparable.
+
+use crate::config::{Algorithm, StmConfig};
+use crate::error::{Abort, AbortReason};
+use crate::heap::{Addr, Heap};
+use crate::norec::{NorecGlobal, NorecTx};
+use crate::ops::CmpOp;
+use crate::stats::{OpCounts, Stats, StatsSnapshot};
+use crate::tl2::{Tl2Global, Tl2Tx};
+use crate::cm::ContentionManager;
+use crate::util::thread_token;
+use crate::value::Word;
+
+/// A shared software-transactional-memory instance.
+///
+/// Create one per experiment; share it across threads by reference (it is
+/// `Sync`). All transactional data must be allocated from this instance's
+/// heap.
+pub struct Stm {
+    config: StmConfig,
+    heap: Heap,
+    norec: NorecGlobal,
+    tl2: Tl2Global,
+    stats: Stats,
+}
+
+impl Stm {
+    /// Create a runtime from a configuration.
+    pub fn new(config: StmConfig) -> Stm {
+        Stm {
+            heap: Heap::new(config.heap_words),
+            norec: NorecGlobal::default(),
+            tl2: Tl2Global::new(config.orec_count),
+            stats: Stats::default(),
+            config,
+        }
+    }
+
+    /// The algorithm this instance runs.
+    #[inline]
+    pub fn algorithm(&self) -> Algorithm {
+        self.config.algorithm
+    }
+
+    /// The underlying heap (for allocation and non-transactional setup).
+    #[inline]
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Allocate `n` contiguous words.
+    pub fn alloc(&self, n: usize) -> Addr {
+        self.heap.alloc(n)
+    }
+
+    /// Allocate one word holding `init` (non-transactionally).
+    pub fn alloc_cell<T: Word>(&self, init: T) -> Addr {
+        let a = self.heap.alloc(1);
+        self.heap.store(a, init.to_word());
+        a
+    }
+
+    /// Allocate an array of `n` words, all holding `init`.
+    pub fn alloc_array<T: Word>(&self, n: usize, init: T) -> Addr {
+        let a = self.heap.alloc(n);
+        for i in 0..n {
+            self.heap.store(a.offset(i), init.to_word());
+        }
+        a
+    }
+
+    /// Non-transactional read (setup / teardown / assertions only).
+    pub fn read_now(&self, a: Addr) -> i64 {
+        self.heap.load(a)
+    }
+
+    /// Non-transactional write (setup / teardown only).
+    pub fn write_now(&self, a: Addr, v: i64) {
+        self.heap.store(a, v);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Run `body` as a transaction, retrying on aborts with randomised
+    /// exponential backoff until it commits. Returns the body's value.
+    ///
+    /// The body must route **every** shared access through the provided
+    /// [`Tx`] and must be safe to re-execute (it runs once per attempt).
+    pub fn atomic<T>(&self, mut body: impl FnMut(&mut Tx<'_>) -> Result<T, Abort>) -> T {
+        let mut cm = ContentionManager::new(
+            self.config.cm_policy,
+            thread_token().wrapping_mul(0x9E37_79B9),
+            self.config.backoff_min_spins,
+            self.config.backoff_max_spins,
+        );
+        let mut tx = Tx::new(self);
+        let mut attempt: u32 = 0;
+        loop {
+            tx.begin();
+            let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
+            match outcome {
+                Ok(v) => {
+                    self.stats.record_commit(&tx.ops);
+                    return v;
+                }
+                Err(abort) => {
+                    tx.rollback();
+                    self.stats.record_abort(abort.reason);
+                    cm.pause(attempt, abort.reason);
+                    if abort.reason != AbortReason::Explicit {
+                        attempt = attempt.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `body` as a transaction **once**, returning the abort instead
+    /// of retrying. Useful for tests that assert on specific conflicts.
+    pub fn try_atomic<T>(
+        &self,
+        body: impl FnOnce(&mut Tx<'_>) -> Result<T, Abort>,
+    ) -> Result<T, Abort> {
+        let mut tx = Tx::new(self);
+        tx.begin();
+        let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
+        match &outcome {
+            Ok(_) => self.stats.record_commit(&tx.ops),
+            Err(abort) => {
+                tx.rollback();
+                self.stats.record_abort(abort.reason);
+            }
+        }
+        outcome
+    }
+}
+
+enum TxInner<'a> {
+    Norec(NorecTx<'a>),
+    Tl2(Tl2Tx<'a>),
+}
+
+/// An in-flight transaction. Obtained through [`Stm::atomic`] /
+/// [`Stm::try_atomic`]; all barriers return `Result<_, Abort>` and the
+/// body should propagate aborts with `?`.
+pub struct Tx<'a> {
+    inner: TxInner<'a>,
+    semantic: bool,
+    ops: OpCounts,
+}
+
+impl<'a> Tx<'a> {
+    fn new(stm: &'a Stm) -> Tx<'a> {
+        let inner = match stm.config.algorithm.baseline() {
+            Algorithm::NOrec => TxInner::Norec(NorecTx::new(
+                &stm.heap,
+                &stm.norec,
+                stm.config.snorec_dedup_reads,
+                stm.config.norec_ring_filters,
+            )),
+            Algorithm::Tl2 => TxInner::Tl2(Tl2Tx::new(
+                &stm.heap,
+                &stm.tl2,
+                stm.config.lock_wait_spins,
+                stm.config.stl2_snapshot_extension,
+            )),
+            _ => unreachable!("baseline() returns a baseline"),
+        };
+        Tx {
+            inner,
+            semantic: stm.config.algorithm.is_semantic(),
+            ops: OpCounts::default(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.ops.clear();
+        match &mut self.inner {
+            TxInner::Norec(t) => t.begin(),
+            TxInner::Tl2(t) => t.begin(),
+        }
+    }
+
+    fn commit(&mut self) -> Result<(), Abort> {
+        match &mut self.inner {
+            TxInner::Norec(t) => t.commit(),
+            TxInner::Tl2(t) => t.commit(),
+        }
+    }
+
+    fn rollback(&mut self) {
+        if let TxInner::Tl2(t) = &mut self.inner {
+            t.on_abort();
+        }
+    }
+
+    /// `TM_READ` — transactional read of one word (as `i64`).
+    pub fn read(&mut self, addr: Addr) -> Result<i64, Abort> {
+        self.ops.reads += 1;
+        match &mut self.inner {
+            TxInner::Norec(t) => t.read(addr, &mut self.ops),
+            TxInner::Tl2(t) => t.read(addr, &mut self.ops),
+        }
+    }
+
+    /// `TM_WRITE` — transactional (buffered) write of one word.
+    pub fn write(&mut self, addr: Addr, value: i64) -> Result<(), Abort> {
+        self.ops.writes += 1;
+        match &mut self.inner {
+            TxInner::Norec(t) => t.write(addr, value),
+            TxInner::Tl2(t) => t.write(addr, value),
+        }
+        Ok(())
+    }
+
+    /// Semantic comparison against a constant — the paper's
+    /// `TM_GT/GTE/LT/LTE/EQ/NEQ(address, value)` (ABI `_ITM_S1R`).
+    ///
+    /// Under a semantic algorithm, records the boolean outcome for
+    /// semantic validation; under a baseline, delegates to [`Tx::read`].
+    pub fn cmp(&mut self, addr: Addr, op: CmpOp, operand: i64) -> Result<bool, Abort> {
+        if !self.semantic {
+            let v = self.read(addr)?;
+            return Ok(op.eval(v, operand));
+        }
+        self.ops.cmps += 1;
+        match &mut self.inner {
+            TxInner::Norec(t) => t.cmp(addr, op, operand, &mut self.ops),
+            TxInner::Tl2(t) => t.cmp(addr, op, operand, &mut self.ops),
+        }
+    }
+
+    /// Semantic comparison between two addresses — the paper's
+    /// `TM_*(address, address)` form (ABI `_ITM_S2R`).
+    pub fn cmp_addr(&mut self, a: Addr, op: CmpOp, b: Addr) -> Result<bool, Abort> {
+        if !self.semantic {
+            let va = self.read(a)?;
+            let vb = self.read(b)?;
+            return Ok(op.eval(va, vb));
+        }
+        self.ops.cmp_pairs += 1;
+        match &mut self.inner {
+            TxInner::Norec(t) => t.cmp_addr(a, op, b, &mut self.ops),
+            TxInner::Tl2(t) => t.cmp_addr(a, op, b, &mut self.ops),
+        }
+    }
+
+    /// Semantic increment — the paper's `TM_INC(address, delta)`
+    /// (`TM_DEC` is a negative delta; ABI `_ITM_SW`).
+    ///
+    /// Under a semantic algorithm the read half is deferred to commit
+    /// time; under a baseline, delegates to read + write.
+    pub fn inc(&mut self, addr: Addr, delta: i64) -> Result<(), Abort> {
+        if !self.semantic {
+            let v = self.read(addr)?;
+            return self.write(addr, v.wrapping_add(delta));
+        }
+        self.ops.incs += 1;
+        match &mut self.inner {
+            TxInner::Norec(t) => t.inc(addr, delta),
+            TxInner::Tl2(t) => t.inc(addr, delta),
+        }
+        Ok(())
+    }
+
+    // --- convenience shorthands matching Table 1 ---
+
+    /// `TM_GT(addr, value)`.
+    pub fn gt(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Gt, v)
+    }
+    /// `TM_GTE(addr, value)`.
+    pub fn gte(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Gte, v)
+    }
+    /// `TM_LT(addr, value)`.
+    pub fn lt(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Lt, v)
+    }
+    /// `TM_LTE(addr, value)`.
+    pub fn lte(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Lte, v)
+    }
+    /// `TM_EQ(addr, value)`.
+    pub fn eq(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Eq, v)
+    }
+    /// `TM_NEQ(addr, value)`.
+    pub fn neq(&mut self, addr: Addr, v: i64) -> Result<bool, Abort> {
+        self.cmp(addr, CmpOp::Neq, v)
+    }
+    /// `TM_DEC(addr, delta)`.
+    pub fn dec(&mut self, addr: Addr, delta: i64) -> Result<(), Abort> {
+        self.inc(addr, -delta)
+    }
+
+    /// Diagnostics: size of the semantic metadata (read-set entries for
+    /// NOrec-family; read-set + compare-set for TL2-family).
+    pub fn metadata_len(&self) -> usize {
+        match &self.inner {
+            TxInner::Norec(t) => t.read_set_len(),
+            TxInner::Tl2(t) => t.read_set_len() + t.compare_set_len(),
+        }
+    }
+
+    /// Diagnostics: whether the transaction buffered any write.
+    pub fn is_writer(&self) -> bool {
+        match &self.inner {
+            TxInner::Norec(t) => t.is_writer(),
+            TxInner::Tl2(t) => t.is_writer(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_algorithms() -> impl Iterator<Item = Stm> {
+        Algorithm::ALL
+            .into_iter()
+            .map(|a| Stm::new(StmConfig::new(a).heap_words(1 << 12).orec_count(1 << 8)))
+    }
+
+    #[test]
+    fn atomic_commits_and_returns_value() {
+        for stm in all_algorithms() {
+            let a = stm.alloc_cell(1i64);
+            let got = stm.atomic(|tx| {
+                let v = tx.read(a)?;
+                tx.write(a, v * 10)?;
+                Ok(v)
+            });
+            assert_eq!(got, 1);
+            assert_eq!(stm.read_now(a), 10, "{}", stm.algorithm());
+            assert_eq!(stm.stats().commits, 1);
+        }
+    }
+
+    #[test]
+    fn semantic_api_works_on_all_algorithms() {
+        for stm in all_algorithms() {
+            let x = stm.alloc_cell(5i64);
+            let y = stm.alloc_cell(5i64);
+            let ok = stm.atomic(|tx| {
+                let c = tx.gt(x, 0)? || tx.gt(y, 0)?;
+                if c {
+                    tx.inc(x, 1)?;
+                    tx.dec(y, 1)?;
+                }
+                Ok(c)
+            });
+            assert!(ok);
+            assert_eq!(stm.read_now(x), 6, "{}", stm.algorithm());
+            assert_eq!(stm.read_now(y), 4, "{}", stm.algorithm());
+        }
+    }
+
+    #[test]
+    fn delegation_counts_reads_writes_on_baselines() {
+        let stm = Stm::new(StmConfig::new(Algorithm::NOrec).heap_words(64));
+        let x = stm.alloc_cell(5i64);
+        stm.atomic(|tx| {
+            let _ = tx.gt(x, 0)?;
+            tx.inc(x, 1)
+        });
+        let s = stm.stats();
+        assert_eq!(s.reads, 2, "cmp and inc each delegate to a read");
+        assert_eq!(s.writes, 1, "inc delegates to a write");
+        assert_eq!(s.cmps, 0);
+        assert_eq!(s.incs, 0);
+    }
+
+    #[test]
+    fn semantic_counts_cmps_incs_on_extensions() {
+        for alg in [Algorithm::SNOrec, Algorithm::STl2] {
+            let stm = Stm::new(StmConfig::new(alg).heap_words(64));
+            let x = stm.alloc_cell(5i64);
+            let y = stm.alloc_cell(3i64);
+            stm.atomic(|tx| {
+                let _ = tx.gt(x, 0)?;
+                let _ = tx.cmp_addr(x, CmpOp::Gt, y)?;
+                tx.inc(x, 1)
+            });
+            let s = stm.stats();
+            assert_eq!(s.reads, 0, "{alg}");
+            assert_eq!(s.writes, 0, "{alg}");
+            assert_eq!(s.cmps, 1, "{alg}");
+            assert_eq!(s.cmp_pairs, 1, "{alg}");
+            assert_eq!(s.incs, 1, "{alg}");
+        }
+    }
+
+    #[test]
+    fn try_atomic_surfaces_explicit_abort() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(64));
+        let r = stm.try_atomic(|_tx| -> Result<(), Abort> { Err(Abort::explicit()) });
+        assert_eq!(r, Err(Abort::explicit()));
+        assert_eq!(stm.stats().aborts_explicit, 1);
+        assert_eq!(stm.stats().commits, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_preserve_sum() {
+        for alg in Algorithm::ALL {
+            let stm = std::sync::Arc::new(Stm::new(
+                StmConfig::new(alg).heap_words(64).orec_count(64),
+            ));
+            let a = stm.alloc_cell(0i64);
+            let threads = 4i64;
+            let per = 200i64;
+            let mut joins = Vec::new();
+            for _ in 0..threads {
+                let stm = stm.clone();
+                joins.push(std::thread::spawn(move || {
+                    for _ in 0..per {
+                        stm.atomic(|tx| tx.inc(a, 1));
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            assert_eq!(stm.read_now(a), threads * per, "{alg}");
+            assert_eq!(stm.stats().commits, (threads * per) as u64, "{alg}");
+        }
+    }
+}

@@ -1,0 +1,731 @@
+//! TL2 and S-TL2 (the paper's Algorithm 7).
+//!
+//! TL2 [Dice, Shalev, Shavit, DISC 2006] validates reads through a table
+//! of **ownership records** ([`orec::OrecTable`]): each committed write
+//! stamps its orecs with the commit timestamp, and a read is consistent if
+//! its orec is unlocked and not newer than the transaction's start
+//! snapshot. Writers lock only their write-set orecs, so disjoint commits
+//! proceed concurrently (unlike NOrec's single global lock).
+//!
+//! S-TL2 adds:
+//!
+//! * a **compare-set** holding semantic `(addr, op, operand)` entries,
+//!   validated by *re-evaluating the relation* rather than by version
+//!   comparison;
+//! * a **three-phase execution**: before the first plain read ("phase 1")
+//!   a `cmp` that observes a too-new orec may *extend the snapshot* after
+//!   revalidating the whole compare-set (Algorithm 7 lines 19–25), and may
+//!   politely wait on locked orecs instead of aborting; after the first
+//!   plain read ("phase 2") `cmp` validates exactly like a read, but its
+//!   entry still gets the semantic treatment at commit;
+//! * a **CAS-based commit timestamp** instead of fetch-and-add: the
+//!   compare-set must be revalidated if any other writer slips a commit
+//!   in during `ValidateCompareSet` (lines 68–72), which the CAS detects.
+//!
+//! Note on Algorithm 7 line 73 (`if start_version + 1 ≠ time`): read
+//! against the original TL2 this is the "no concurrent commits since
+//! start" fast path; with `time` sampled *before* the CAS the equivalent
+//! skip condition is `start_version == time`, which is what we implement.
+
+pub mod orec;
+
+use crate::error::Abort;
+use crate::heap::{Addr, Heap};
+use crate::ops::CmpOp;
+use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
+use crate::stats::OpCounts;
+use crate::util::{thread_token, SpinWait};
+use orec::{OrecTable, OrecWord};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global state shared by all TL2-family transactions of one
+/// [`crate::Stm`]: the version clock and the orec table.
+pub struct Tl2Global {
+    timestamp: AtomicU64,
+    orecs: OrecTable,
+}
+
+impl Tl2Global {
+    /// Create global TL2 state with (at least) `orec_count` orecs.
+    pub fn new(orec_count: usize) -> Tl2Global {
+        Tl2Global {
+            timestamp: AtomicU64::new(0),
+            orecs: OrecTable::new(orec_count),
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        self.timestamp.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn try_advance(&self, from: u64) -> bool {
+        self.timestamp
+            .compare_exchange(from, from + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Current global version clock (diagnostics/tests).
+    pub fn time(&self) -> u64 {
+        self.now()
+    }
+}
+
+/// One TL2 / S-TL2 transaction attempt. Used through [`crate::stm::Tx`].
+pub struct Tl2Tx<'a> {
+    heap: &'a Heap,
+    global: &'a Tl2Global,
+    owner: u64,
+    lock_wait_spins: u32,
+    snapshot_extension: bool,
+    start_version: u64,
+    /// Orec indices of plain reads (Algorithm 7 line 48 stores orecs, not
+    /// addresses).
+    reads: Vec<usize>,
+    /// Semantic compare entries (separate set, §4.2).
+    compares: Vec<ReadEntry>,
+    writes: WriteSet,
+    /// Orecs locked during commit, with their pre-lock words for rollback.
+    locked: Vec<(usize, OrecWord)>,
+}
+
+impl<'a> Tl2Tx<'a> {
+    pub(crate) fn new(
+        heap: &'a Heap,
+        global: &'a Tl2Global,
+        lock_wait_spins: u32,
+        snapshot_extension: bool,
+    ) -> Self {
+        Tl2Tx {
+            heap,
+            global,
+            owner: thread_token(),
+            lock_wait_spins,
+            snapshot_extension,
+            start_version: 0,
+            reads: Vec::new(),
+            compares: Vec::new(),
+            writes: WriteSet::default(),
+            locked: Vec::new(),
+        }
+    }
+
+    /// Begin / re-begin: clear metadata, snapshot the clock (Algorithm 7
+    /// `Start`).
+    pub(crate) fn begin(&mut self) {
+        debug_assert!(self.locked.is_empty(), "locks leaked across attempts");
+        self.reads.clear();
+        self.compares.clear();
+        self.writes.clear();
+        self.start_version = self.global.now();
+    }
+
+    #[inline]
+    fn orec_index(&self, addr: Addr) -> usize {
+        self.global.orecs.index_of(addr.index())
+    }
+
+    /// Spin until orec `oi` is unlocked, up to the configured patience
+    /// (the §4.2 starvation-avoidance timeout).
+    fn wait_unlocked(&self, oi: usize) -> Result<OrecWord, Abort> {
+        let mut wait = SpinWait::new();
+        for _ in 0..self.lock_wait_spins {
+            let o = self.global.orecs.load(oi);
+            if !o.locked_by_other(self.owner) {
+                return Ok(o);
+            }
+            wait.spin();
+        }
+        Err(Abort::timeout())
+    }
+
+    /// Read-after-write resolution (same rules as Algorithm 6's `RAW`):
+    /// promoted increments become plain reads + stores.
+    fn raw(&mut self, addr: Addr, ops: &mut OpCounts) -> Result<Option<i64>, Abort> {
+        match self.writes.get(addr) {
+            None => Ok(None),
+            Some(WriteEntry {
+                kind: WriteKind::Store,
+                value,
+            }) => Ok(Some(value)),
+            Some(WriteEntry {
+                kind: WriteKind::Increment,
+                ..
+            }) => {
+                let observed = self.read_validated(addr)?;
+                ops.promotes += 1;
+                Ok(Some(self.writes.promote(addr, observed)))
+            }
+        }
+    }
+
+    /// The core TL2 consistent read: value is valid if its orec was
+    /// unlocked and not newer than `start_version`, unchanged across the
+    /// data load. Appends the orec to the read-set.
+    fn read_validated(&mut self, addr: Addr) -> Result<i64, Abort> {
+        let oi = self.orec_index(addr);
+        let l1 = self.global.orecs.load(oi);
+        if l1.is_locked() {
+            debug_assert!(
+                l1.owner() != self.owner,
+                "read while holding own commit locks"
+            );
+            return Err(Abort::locked());
+        }
+        let val = self.heap.tm_load(addr);
+        let l2 = self.global.orecs.load(oi);
+        if l1 != l2 || l1.version() > self.start_version {
+            return Err(Abort::validation());
+        }
+        self.reads.push(oi);
+        Ok(val)
+    }
+
+    /// `TM_READ` (Algorithm 7 lines 37–50).
+    pub(crate) fn read(&mut self, addr: Addr, ops: &mut OpCounts) -> Result<i64, Abort> {
+        if let Some(v) = self.raw(addr, ops)? {
+            return Ok(v);
+        }
+        self.read_validated(addr)
+    }
+
+    /// `TM_WRITE` — buffered, like Algorithm 6.
+    pub(crate) fn write(&mut self, addr: Addr, value: i64) {
+        self.writes.write(addr, value);
+    }
+
+    /// `TM_INC` — deferred delta in the write-set.
+    pub(crate) fn inc(&mut self, addr: Addr, delta: i64) {
+        self.writes.inc(addr, delta);
+    }
+
+    /// Whether the transaction is still in phase 1 (no plain reads yet).
+    #[inline]
+    fn in_phase1(&self) -> bool {
+        self.reads.is_empty() && self.snapshot_extension
+    }
+
+    /// Phase-1 tolerant read of one word: waits out locks and retries
+    /// version changes instead of aborting (Algorithm 7 lines 11–16).
+    /// Returns the value and the orec word it was read under.
+    fn patient_read(&mut self, addr: Addr) -> Result<(i64, OrecWord), Abort> {
+        let oi = self.orec_index(addr);
+        loop {
+            let l1 = self.wait_unlocked(oi)?;
+            if l1.is_locked() {
+                // locked by self — cannot happen outside commit
+                return Err(Abort::locked());
+            }
+            let val = self.heap.tm_load(addr);
+            let l2 = self.global.orecs.load(oi);
+            if l1 == l2 {
+                return Ok((val, l1));
+            }
+            std::hint::spin_loop(); // transient: l1 != l2 resolves fast
+        }
+    }
+
+    /// Extend the snapshot after a phase-1 `cmp` observed a too-new orec:
+    /// revalidate the compare-set, retrying while other commits interleave
+    /// (Algorithm 7 lines 19–25).
+    fn extend_snapshot(&mut self) -> Result<(), Abort> {
+        loop {
+            let time = self.global.now();
+            self.validate_compare_set()?;
+            if time == self.global.now() {
+                self.start_version = self.start_version.max(time);
+                return Ok(());
+            }
+        }
+    }
+
+    /// Semantic compare, address–value form (Algorithm 7 `Compare`).
+    pub(crate) fn cmp(
+        &mut self,
+        addr: Addr,
+        op: CmpOp,
+        operand: i64,
+        ops: &mut OpCounts,
+    ) -> Result<bool, Abort> {
+        if let Some(v) = self.raw(addr, ops)? {
+            return Ok(op.eval(v, operand));
+        }
+        if self.in_phase1() {
+            let (val, l1) = self.patient_read(addr)?;
+            let result = op.eval(val, operand);
+            self.compares.push(ReadEntry::Val {
+                addr,
+                op: if result { op } else { op.inverse() },
+                operand,
+            });
+            if l1.version() > self.start_version {
+                self.extend_snapshot()?;
+            }
+            Ok(result)
+        } else {
+            // Phase 2: consistency with previous reads is mandatory; the
+            // snapshot can no longer move (lines 26–34).
+            let oi = self.orec_index(addr);
+            let l1 = self.global.orecs.load(oi);
+            if l1.locked_by_other(self.owner) {
+                return Err(Abort::locked());
+            }
+            let val = self.heap.tm_load(addr);
+            let l2 = self.global.orecs.load(oi);
+            if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
+                return Err(Abort::validation());
+            }
+            let result = op.eval(val, operand);
+            self.compares.push(ReadEntry::Val {
+                addr,
+                op: if result { op } else { op.inverse() },
+                operand,
+            });
+            Ok(result)
+        }
+    }
+
+    /// Semantic compare, address–address form. Write-set-pinned sides
+    /// collapse to the address–value form; otherwise both words are read
+    /// consistently and recorded as one `Pair` compare entry.
+    pub(crate) fn cmp_addr(
+        &mut self,
+        a: Addr,
+        op: CmpOp,
+        b: Addr,
+        ops: &mut OpCounts,
+    ) -> Result<bool, Abort> {
+        let wa = self.raw(a, ops)?;
+        let wb = self.raw(b, ops)?;
+        match (wa, wb) {
+            (Some(va), Some(vb)) => Ok(op.eval(va, vb)),
+            (Some(va), None) => self.cmp(b, op.swap(), va, ops),
+            (None, Some(vb)) => self.cmp(a, op, vb, ops),
+            (None, None) => {
+                if self.in_phase1() {
+                    let (va, l1a) = self.patient_read(a)?;
+                    let (vb, l1b) = self.patient_read(b)?;
+                    let result = op.eval(va, vb);
+                    self.compares.push(ReadEntry::Pair {
+                        a,
+                        op: if result { op } else { op.inverse() },
+                        b,
+                    });
+                    if l1a.version() > self.start_version || l1b.version() > self.start_version {
+                        self.extend_snapshot()?;
+                    }
+                    Ok(result)
+                } else {
+                    let va = self.phase2_load(a)?;
+                    let vb = self.phase2_load(b)?;
+                    let result = op.eval(va, vb);
+                    self.compares.push(ReadEntry::Pair {
+                        a,
+                        op: if result { op } else { op.inverse() },
+                        b,
+                    });
+                    Ok(result)
+                }
+            }
+        }
+    }
+
+    /// Phase-2 consistent load that does *not* append to the read-set
+    /// (the caller appends a compare entry instead).
+    fn phase2_load(&mut self, addr: Addr) -> Result<i64, Abort> {
+        let oi = self.orec_index(addr);
+        let l1 = self.global.orecs.load(oi);
+        if l1.locked_by_other(self.owner) {
+            return Err(Abort::locked());
+        }
+        let val = self.heap.tm_load(addr);
+        let l2 = self.global.orecs.load(oi);
+        if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
+            return Err(Abort::validation());
+        }
+        Ok(val)
+    }
+
+    /// `ValidateCompareSet` (Algorithm 7 lines 56–65): semantic re-check
+    /// of entries whose orecs moved past `start_version`; waits out locks
+    /// held by other committers (with the starvation timeout).
+    fn validate_compare_set(&self) -> Result<(), Abort> {
+        for e in &self.compares {
+            let (a0, a1) = e.addrs();
+            let mut changed = false;
+            for addr in std::iter::once(a0).chain(a1) {
+                let oi = self.orec_index(addr);
+                let mut o = self.global.orecs.load(oi);
+                if o.locked_by_other(self.owner) {
+                    o = self.wait_unlocked(oi)?;
+                }
+                if o.is_locked() || o.version() > self.start_version {
+                    // Locked by self (commit-time orec aliasing) or newer
+                    // than our snapshot: value may have changed.
+                    changed = true;
+                }
+            }
+            if changed && !e.holds(self.heap) {
+                return Err(Abort::validation());
+            }
+        }
+        Ok(())
+    }
+
+    /// `ValidateReadSet` (Algorithm 7 lines 51–55): version-based, aborts
+    /// on any moved orec. Self-locked orecs are checked against their
+    /// pre-lock version.
+    fn validate_read_set(&self) -> Result<(), Abort> {
+        for &oi in &self.reads {
+            let o = self.global.orecs.load(oi);
+            if o.locked_by_other(self.owner) {
+                return Err(Abort::locked());
+            }
+            let version = if o.is_locked() {
+                // Locked by us at commit: consult the pre-lock word.
+                self.locked
+                    .iter()
+                    .find(|(i, _)| *i == oi)
+                    .map(|(_, old)| old.version())
+                    .expect("self-locked orec missing from lock list")
+            } else {
+                o.version()
+            };
+            if version > self.start_version {
+                return Err(Abort::validation());
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquire commit locks for every distinct write-set orec, in index
+    /// order (bounded spin per orec; failure rolls everything back).
+    fn acquire_write_locks(&mut self) -> Result<(), Abort> {
+        let mut targets: Vec<usize> = self
+            .writes
+            .iter()
+            .map(|(addr, _)| self.global.orecs.index_of(addr.index()))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for oi in targets {
+            let mut acquired = false;
+            let mut wait = SpinWait::new();
+            for _ in 0..self.lock_wait_spins {
+                let o = self.global.orecs.load(oi);
+                if o.is_locked() {
+                    debug_assert!(o.owner() != self.owner);
+                    wait.spin();
+                    continue;
+                }
+                if self.global.orecs.try_lock(oi, o, self.owner) {
+                    self.locked.push((oi, o));
+                    acquired = true;
+                    break;
+                }
+            }
+            if !acquired {
+                self.release_locks_rollback();
+                return Err(Abort::lock_acquire());
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll back: restore every locked orec to its pre-lock word.
+    fn release_locks_rollback(&mut self) {
+        for (oi, old) in self.locked.drain(..) {
+            self.global.orecs.store(oi, old);
+        }
+    }
+
+    /// Release after successful write-back, stamping the commit version.
+    fn release_locks_committed(&mut self, new_version: u64) {
+        for (oi, _) in self.locked.drain(..) {
+            self.global.orecs.store(oi, OrecWord::unlocked(new_version));
+        }
+    }
+
+    /// Commit (Algorithm 7 lines 66–77). Read-only transactions (possibly
+    /// with compare entries) commit immediately: every entry was validated
+    /// against `start_version` when recorded, so the transaction
+    /// serialises at its (possibly extended) snapshot.
+    pub(crate) fn commit(&mut self) -> Result<(), Abort> {
+        if self.writes.is_empty() {
+            return Ok(());
+        }
+        self.acquire_write_locks()?;
+
+        // CAS-based timestamp advance with compare-set revalidation
+        // (lines 68–72). The CAS — rather than fetch-and-add — guarantees
+        // no other writer committed between the semantic validation and
+        // our serialisation point.
+        let time = loop {
+            let time = self.global.now();
+            if time != self.start_version {
+                if let Err(e) = self.validate_compare_set() {
+                    self.release_locks_rollback();
+                    return Err(e);
+                }
+            }
+            if self.global.try_advance(time) {
+                break time;
+            }
+        };
+        let write_version = time + 1;
+
+        if time != self.start_version {
+            if let Err(e) = self.validate_read_set() {
+                self.release_locks_rollback();
+                return Err(e);
+            }
+        }
+
+        for (addr, e) in self.writes.iter() {
+            let v = match e.kind {
+                WriteKind::Store => e.value,
+                WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
+            };
+            self.heap.tm_store(addr, v);
+        }
+        self.release_locks_committed(write_version);
+        Ok(())
+    }
+
+    /// Abort cleanup (no locks are held outside `commit`, which already
+    /// rolls back on failure; this is a safety net for the runner).
+    pub(crate) fn on_abort(&mut self) {
+        self.release_locks_rollback();
+    }
+
+    /// Diagnostics: compare-set size.
+    pub(crate) fn compare_set_len(&self) -> usize {
+        self.compares.len()
+    }
+
+    /// Diagnostics: read-set size.
+    pub(crate) fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Diagnostics: current start version (observes snapshot extension).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn start_version(&self) -> u64 {
+        self.start_version
+    }
+
+    /// Whether the transaction has buffered writes.
+    pub(crate) fn is_writer(&self) -> bool {
+        !self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Heap, Tl2Global) {
+        (Heap::new(256), Tl2Global::new(256))
+    }
+
+    fn tx<'a>(heap: &'a Heap, global: &'a Tl2Global) -> Tl2Tx<'a> {
+        let mut t = Tl2Tx::new(heap, global, 64, true);
+        t.begin();
+        t
+    }
+
+    fn commit_write(heap: &Heap, global: &Tl2Global, addr: Addr, v: i64) {
+        let mut t = tx(heap, global);
+        t.write(addr, v);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        let mut ops = OpCounts::default();
+        let mut t = tx(&heap, &global);
+        t.write(a, 9);
+        assert_eq!(t.read(a, &mut ops).unwrap(), 9);
+        t.commit().unwrap();
+        assert_eq!(heap.load(a), 9);
+        assert_eq!(global.time(), 1, "one writer commit advances the clock");
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        commit_write(&heap, &global, a, 5); // newer than t1's snapshot
+        assert_eq!(t1.read(a, &mut ops), Err(Abort::validation()));
+    }
+
+    #[test]
+    fn phase1_cmp_extends_snapshot_over_newer_commit() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        heap.store(x, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        let sv0 = t1.start_version();
+        commit_write(&heap, &global, x, 7); // bumps clock past t1's snapshot
+        // Phase-1 cmp sees the newer orec but extends instead of aborting.
+        assert!(t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap());
+        assert!(t1.start_version() > sv0, "snapshot must have been extended");
+        assert_eq!(t1.compare_set_len(), 1);
+        assert_eq!(t1.read_set_len(), 0);
+    }
+
+    #[test]
+    fn phase1_cmp_without_extension_knob_aborts() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        heap.store(x, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = Tl2Tx::new(&heap, &global, 64, false);
+        t1.begin();
+        commit_write(&heap, &global, x, 7);
+        assert_eq!(t1.cmp(x, CmpOp::Gt, 0, &mut ops), Err(Abort::validation()));
+    }
+
+    #[test]
+    fn phase2_cmp_on_newer_orec_aborts() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let y = heap.alloc(1);
+        heap.store(x, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        let _ = t1.read(y, &mut ops).unwrap(); // enter phase 2
+        commit_write(&heap, &global, x, 7);
+        assert_eq!(t1.cmp(x, CmpOp::Gt, 0, &mut ops), Err(Abort::validation()));
+    }
+
+    #[test]
+    fn commit_semantically_revalidates_compare_set() {
+        // A compare recorded in phase 1 stays valid through a concurrent
+        // commit that preserves the relation, and the writer commits.
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let out = heap.alloc(1);
+        heap.store(x, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        assert!(t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap());
+        commit_write(&heap, &global, x, 6); // still > 0
+        t1.write(out, 1);
+        t1.commit().expect("semantic compare-set validation must pass");
+        assert_eq!(heap.load(out), 1);
+    }
+
+    #[test]
+    fn commit_aborts_when_compare_relation_flips() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let out = heap.alloc(1);
+        heap.store(x, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        assert!(t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap());
+        commit_write(&heap, &global, x, -1); // relation flipped
+        t1.write(out, 1);
+        assert_eq!(t1.commit(), Err(Abort::validation()));
+        assert_eq!(heap.load(out), 0, "no write-back on abort");
+        // All locks must have been rolled back.
+        let oi = global.orecs.index_of(out.index());
+        assert!(!global.orecs.load(oi).is_locked());
+    }
+
+    #[test]
+    fn commit_aborts_when_read_set_is_stale() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let out = heap.alloc(1);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        let _ = t1.read(x, &mut ops).unwrap();
+        commit_write(&heap, &global, x, 3);
+        t1.write(out, 1);
+        assert_eq!(t1.commit(), Err(Abort::validation()));
+    }
+
+    #[test]
+    fn deferred_inc_has_no_read_set_and_never_conflicts() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        heap.store(x, 100);
+        let mut t1 = tx(&heap, &global);
+        t1.inc(x, 1);
+        commit_write(&heap, &global, x, 200); // concurrent overwrite
+        t1.commit().expect("inc-only transaction validates nothing");
+        assert_eq!(heap.load(x), 201);
+    }
+
+    #[test]
+    fn promote_in_tl2_moves_to_phase2() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        heap.store(x, 10);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        t1.inc(x, 5);
+        assert_eq!(t1.read(x, &mut ops).unwrap(), 15);
+        assert_eq!(ops.promotes, 1);
+        assert_eq!(t1.read_set_len(), 1, "promotion performs a plain read");
+        t1.commit().unwrap();
+        assert_eq!(heap.load(x), 15);
+    }
+
+    #[test]
+    fn locked_orec_times_out_in_phase1() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let oi = global.orecs.index_of(x.index());
+        let pre = global.orecs.load(oi);
+        assert!(global.orecs.try_lock(oi, pre, 999)); // stuck foreign lock
+        let mut ops = OpCounts::default();
+        let mut t1 = Tl2Tx::new(&heap, &global, 16, true);
+        t1.begin();
+        assert_eq!(t1.cmp(x, CmpOp::Gt, 0, &mut ops), Err(Abort::timeout()));
+        global.orecs.store(oi, pre);
+    }
+
+    #[test]
+    fn disjoint_writers_commit_with_distinct_versions() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        let b = heap.alloc(1);
+        commit_write(&heap, &global, a, 1);
+        commit_write(&heap, &global, b, 2);
+        let oa = global.orecs.load(global.orecs.index_of(a.index()));
+        let ob = global.orecs.load(global.orecs.index_of(b.index()));
+        assert_eq!(oa.version(), 1);
+        assert_eq!(ob.version(), 2);
+    }
+
+    #[test]
+    fn cmp_addr_pair_validates_both_orecs() {
+        let (heap, global) = setup();
+        let h = heap.alloc(1);
+        let t = heap.alloc(1);
+        let out = heap.alloc(1);
+        heap.store(h, 3);
+        heap.store(t, 9);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        assert!(t1.cmp_addr(h, CmpOp::Neq, t, &mut ops).unwrap());
+        commit_write(&heap, &global, t, 11); // relation preserved
+        t1.write(out, 1);
+        t1.commit().unwrap();
+
+        let mut t2 = tx(&heap, &global);
+        assert!(t2.cmp_addr(h, CmpOp::Neq, t, &mut ops).unwrap());
+        commit_write(&heap, &global, h, 11); // h == t now
+        t2.write(out, 2);
+        assert_eq!(t2.commit(), Err(Abort::validation()));
+    }
+}

@@ -1,0 +1,217 @@
+//! Encoding Rust values into heap words.
+//!
+//! The STM operates on raw `i64` words; this module defines the [`Word`]
+//! codec used by the typed layer ([`crate::tvar`]) and the [`Fx32`]
+//! fixed-point type used by the Kmeans port (so that centroid updates are
+//! exact `TM_INC` word operations — see DESIGN.md §7).
+
+/// Types that can be stored in a single transactional heap word.
+///
+/// The encoding must be a bijection on the values the program uses, so
+/// that value-based (and semantic) validation of the encoded word is
+/// equivalent to validation of the logical value.
+pub trait Word: Copy {
+    /// Encode into a word.
+    fn to_word(self) -> i64;
+    /// Decode from a word.
+    fn from_word(w: i64) -> Self;
+}
+
+impl Word for i64 {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w
+    }
+}
+
+impl Word for u64 {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w as u64
+    }
+}
+
+impl Word for i32 {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w as i32
+    }
+}
+
+impl Word for u32 {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w as u32
+    }
+}
+
+impl Word for usize {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w as usize
+    }
+}
+
+impl Word for bool {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self as i64
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        w != 0
+    }
+}
+
+/// Signed 48.16 fixed-point number stored in one heap word.
+///
+/// Addition of `Fx32` values is exact integer addition of the underlying
+/// words, which is what makes `TM_INC` applicable to Kmeans' centroid
+/// accumulation (paper, Algorithm 5) without floating-point commutativity
+/// caveats.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct Fx32(pub i64);
+
+impl Fx32 {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = 16;
+    /// The representation of 1.0.
+    pub const ONE: Fx32 = Fx32(1 << Self::FRAC_BITS);
+    /// The representation of 0.0.
+    pub const ZERO: Fx32 = Fx32(0);
+
+    /// Convert from `f64`, rounding to the nearest representable value.
+    #[inline]
+    pub fn from_f64(v: f64) -> Fx32 {
+        Fx32((v * (1i64 << Self::FRAC_BITS) as f64).round() as i64)
+    }
+
+    /// Convert to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << Self::FRAC_BITS) as f64
+    }
+
+    /// Construct from an integer.
+    #[inline]
+    pub fn from_int(v: i64) -> Fx32 {
+        Fx32(v << Self::FRAC_BITS)
+    }
+
+
+
+    /// Fixed-point division by a plain integer.
+    #[inline]
+    pub fn div_int(self, d: i64) -> Fx32 {
+        Fx32(self.0 / d)
+    }
+}
+
+impl std::ops::Mul for Fx32 {
+    type Output = Fx32;
+    /// Fixed-point multiplication (used by the Kmeans distance kernel).
+    #[inline]
+    fn mul(self, other: Fx32) -> Fx32 {
+        Fx32(((self.0 as i128 * other.0 as i128) >> Self::FRAC_BITS) as i64)
+    }
+}
+
+impl std::ops::Add for Fx32 {
+    type Output = Fx32;
+    #[inline]
+    fn add(self, rhs: Fx32) -> Fx32 {
+        Fx32(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Fx32 {
+    type Output = Fx32;
+    #[inline]
+    fn sub(self, rhs: Fx32) -> Fx32 {
+        Fx32(self.0 - rhs.0)
+    }
+}
+
+impl Word for Fx32 {
+    #[inline]
+    fn to_word(self) -> i64 {
+        self.0
+    }
+    #[inline]
+    fn from_word(w: i64) -> Self {
+        Fx32(w)
+    }
+}
+
+impl std::fmt::Display for Fx32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(i64::from_word((-5i64).to_word()), -5);
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+        assert_eq!(i32::from_word((-7i32).to_word()), -7);
+        assert_eq!(usize::from_word(12usize.to_word()), 12);
+    }
+
+    #[test]
+    fn fx32_arithmetic() {
+        let a = Fx32::from_f64(1.5);
+        let b = Fx32::from_f64(2.25);
+        assert!((Fx32::to_f64(a + b) - 3.75).abs() < 1e-4);
+        assert!(((a * b).to_f64() - 3.375).abs() < 1e-3);
+        assert_eq!(Fx32::from_int(4).div_int(2), Fx32::from_int(2));
+        assert!((Fx32::from_f64(-0.5).to_f64() + 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fx32_add_is_word_add() {
+        // This is the property that makes TM_INC exact for Kmeans.
+        let a = Fx32::from_f64(3.125);
+        let b = Fx32::from_f64(-1.0625);
+        assert_eq!((a + b).to_word(), a.to_word() + b.to_word());
+    }
+
+    #[test]
+    fn fx32_ordering_matches_f64() {
+        let vals = [-2.5, -0.25, 0.0, 0.125, 7.75];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(
+                    Fx32::from_f64(x) < Fx32::from_f64(y),
+                    x < y,
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+}

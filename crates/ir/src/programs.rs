@@ -1,0 +1,306 @@
+//! Benchmark kernels written in the IR's *classical* TM style — plain
+//! transactional loads, stores and comparisons, exactly what GCC's
+//! `_transaction_atomic` lowering would produce. None of them mention a
+//! semantic builtin: the whole point of the Figure-2 ("GCC")
+//! configuration is that [`crate::passes::tm_mark`] discovers the
+//! `cmp`/`inc` patterns by itself, keeping the programming model
+//! untouched.
+//!
+//! * [`hashtable_op`] — the open-addressing probe of the paper's
+//!   Algorithm 2 (get or insert, selected by an argument);
+//! * [`vacation_reserve`] — the reservation scan-and-book kernel of
+//!   Algorithm 4 over a contiguous offer table;
+//! * [`bank_transfer`] — a guarded transfer (overdraft check + two
+//!   balance updates).
+
+use crate::ir::Function;
+use crate::parser::parse_function;
+
+/// Open-addressing hash-table operation.
+///
+/// Arguments: `r0` = states base address, `r1` = keys base address,
+/// `r2` = capacity mask, `r3` = key, `r4` = op (0 = get, 1 = insert).
+/// Returns 1 found, 0 absent, 2 inserted.
+/// Cell states: 0 = FREE, 1 = USED, 2 = REMOVED.
+pub const HASHTABLE_OP_SRC: &str = r"
+; Algorithm 2: while (states[i] != FREE && (states[i] == REMOVED || keys[i] != key)) i++
+func ht_op(5) {
+entry:
+  tmbegin
+  r5 = and r3, r2
+  br probe
+probe:
+  r6 = add r0, r5
+  r7 = tmload r6
+  r8 = cmp.neq r7, 0
+  condbr r8, check_used, terminal
+check_used:
+  r9 = tmload r6
+  r10 = cmp.eq r9, 2
+  condbr r10, advance, check_key
+check_key:
+  r11 = add r1, r5
+  r12 = tmload r11
+  r13 = cmp.neq r12, r3
+  condbr r13, advance, found
+advance:
+  r14 = add r5, 1
+  r5 = and r14, r2
+  br probe
+terminal:
+  condbr r4, do_insert, miss
+found:
+  tmend
+  ret 1
+miss:
+  tmend
+  ret 0
+do_insert:
+  r15 = add r0, r5
+  tmstore r15, 1
+  r16 = add r1, r5
+  tmstore r16, r3
+  tmend
+  ret 2
+}
+";
+
+/// Vacation reservation kernel (Algorithm 4).
+///
+/// Arguments: `r0` = offer-table base, `r1` = number of offers. Offers
+/// are 5-word records `id, numUsed, numFree, numTotal, price`. Scans all
+/// offers for the priciest one with a free unit and books it.
+/// Returns the booked record address, or -1.
+pub const VACATION_RESERVE_SRC: &str = r"
+; for each offer: if (numFree > 0 && price > max_price) remember; then book.
+func vac_reserve(2) {
+entry:
+  tmbegin
+  r2 = const 0
+  r3 = const -1
+  r4 = const -1
+  br loop
+loop:
+  r5 = cmp.lt r2, r1
+  condbr r5, body, book
+body:
+  r6 = mul r2, 5
+  r7 = add r0, r6
+  r8 = add r7, 2
+  r9 = tmload r8
+  r10 = cmp.gt r9, 0
+  condbr r10, chkprice, next
+chkprice:
+  r11 = add r7, 4
+  r12 = tmload r11
+  r13 = cmp.gt r12, r4
+  condbr r13, take, next
+take:
+  r14 = tmload r11
+  r4 = mov r14
+  r3 = mov r7
+  br next
+next:
+  r2 = add r2, 1
+  br loop
+book:
+  r15 = cmp.lt r3, 0
+  condbr r15, none, dobook
+dobook:
+  r16 = add r3, 2
+  r17 = tmload r16
+  r18 = sub r17, 1
+  tmstore r16, r18
+  r19 = add r3, 1
+  r20 = tmload r19
+  r21 = add r20, 1
+  tmstore r19, r21
+  tmend
+  ret r3
+none:
+  tmend
+  ret -1
+}
+";
+
+/// Guarded bank transfer.
+///
+/// Arguments: `r0` = source account address, `r1` = destination account
+/// address, `r2` = amount. Returns 1 if the transfer happened, 0 if the
+/// overdraft check blocked it.
+pub const BANK_TRANSFER_SRC: &str = r"
+; if (*src >= amount) { *src -= amount; *dst += amount; }
+func bank_transfer(3) {
+entry:
+  tmbegin
+  r3 = tmload r0
+  r4 = cmp.gte r3, r2
+  condbr r4, do_move, skip
+do_move:
+  r5 = tmload r0
+  r6 = sub r5, r2
+  tmstore r0, r6
+  r7 = tmload r1
+  r8 = add r7, r2
+  tmstore r1, r8
+  tmend
+  ret 1
+skip:
+  tmend
+  ret 0
+}
+";
+
+/// Parse the hashtable kernel.
+pub fn hashtable_op() -> Function {
+    parse_function(HASHTABLE_OP_SRC).expect("ht_op parses")
+}
+
+/// Parse the vacation kernel.
+pub fn vacation_reserve() -> Function {
+    parse_function(VACATION_RESERVE_SRC).expect("vac_reserve parses")
+}
+
+/// Parse the bank kernel.
+pub fn bank_transfer() -> Function {
+    parse_function(BANK_TRANSFER_SRC).expect("bank_transfer parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::passes::run_tm_passes;
+    use semtm_core::{Algorithm, Stm, StmConfig};
+
+    fn stm(alg: Algorithm) -> Stm {
+        Stm::new(StmConfig::new(alg).heap_words(1 << 12).orec_count(1 << 8))
+    }
+
+    #[test]
+    fn hashtable_kernel_get_insert_cycle() {
+        for passes in [false, true] {
+            let s = stm(Algorithm::SNOrec);
+            let states = s.alloc_array(16, 0i64);
+            let keys = s.alloc_array(16, 0i64);
+            let mut f = hashtable_op();
+            if passes {
+                let rep = run_tm_passes(&mut f);
+                assert!(rep.s1r >= 2, "probe checks become S1R: {rep:?}");
+            }
+            let interp = Interp::new(&s);
+            let args = |key: i64, op: i64| {
+                vec![
+                    states.index() as i64,
+                    keys.index() as i64,
+                    15,
+                    key,
+                    op,
+                ]
+            };
+            assert_eq!(interp.execute(&f, &args(7, 0)).unwrap(), Some(0), "miss");
+            assert_eq!(interp.execute(&f, &args(7, 1)).unwrap(), Some(2), "insert");
+            assert_eq!(interp.execute(&f, &args(7, 0)).unwrap(), Some(1), "hit");
+            assert_eq!(
+                interp.execute(&f, &args(23, 1)).unwrap(),
+                Some(2),
+                "collision chain insert (23 & 15 == 7)"
+            );
+            assert_eq!(interp.execute(&f, &args(23, 0)).unwrap(), Some(1));
+            assert_eq!(interp.execute(&f, &args(7, 0)).unwrap(), Some(1));
+        }
+    }
+
+    #[test]
+    fn vacation_kernel_books_best_offer() {
+        let s = stm(Algorithm::SNOrec);
+        let base = s.alloc(15); // three 5-word offers
+        for (i, (free, price)) in [(2i64, 100i64), (0, 900), (1, 300)].iter().enumerate() {
+            s.write_now(base.offset(i * 5), i as i64);
+            s.write_now(base.offset(i * 5 + 1), 0);
+            s.write_now(base.offset(i * 5 + 2), *free);
+            s.write_now(base.offset(i * 5 + 3), *free);
+            s.write_now(base.offset(i * 5 + 4), *price);
+        }
+        let mut f = vacation_reserve();
+        let rep = run_tm_passes(&mut f);
+        assert!(rep.s1r >= 2, "{rep:?}");
+        assert_eq!(rep.sw, 2, "both counter updates become _ITM_SW");
+        let interp = Interp::new(&s);
+        let booked = interp
+            .execute(&f, &[base.index() as i64, 3])
+            .unwrap()
+            .unwrap();
+        // Offer 1 is priciest but sold out; offer 2 (price 300) wins.
+        assert_eq!(booked as usize, base.index() + 10);
+        assert_eq!(s.read_now(base.offset(12)), 0, "numFree decremented");
+        assert_eq!(s.read_now(base.offset(11)), 1, "numUsed incremented");
+    }
+
+    #[test]
+    fn bank_kernel_respects_overdraft() {
+        for passes in [false, true] {
+            for alg in [Algorithm::NOrec, Algorithm::SNOrec] {
+                let s = stm(alg);
+                let a = s.alloc_cell(100i64);
+                let b = s.alloc_cell(0i64);
+                let mut f = bank_transfer();
+                if passes {
+                    let rep = run_tm_passes(&mut f);
+                    assert_eq!(rep.s1r, 1);
+                    assert_eq!(rep.sw, 2);
+                    assert_eq!(rep.loads_removed, 3);
+                }
+                let interp = Interp::new(&s);
+                let args = |amt: i64| vec![a.index() as i64, b.index() as i64, amt];
+                assert_eq!(interp.execute(&f, &args(60)).unwrap(), Some(1));
+                assert_eq!(interp.execute(&f, &args(60)).unwrap(), Some(0), "blocked");
+                assert_eq!(s.read_now(a), 40);
+                assert_eq!(s.read_now(b), 60);
+            }
+        }
+    }
+
+    #[test]
+    fn passed_bank_kernel_issues_three_barriers_instead_of_five() {
+        let plain = bank_transfer();
+        assert_eq!(plain.barrier_count(), 5);
+        let mut passed = bank_transfer();
+        run_tm_passes(&mut passed);
+        assert_eq!(
+            passed.barrier_count(),
+            3,
+            "S1R + 2x SW after dead-load elimination"
+        );
+    }
+
+    #[test]
+    fn concurrent_ir_bank_conserves_money() {
+        let s = stm(Algorithm::SNOrec);
+        let accounts: Vec<_> = (0..4).map(|_| s.alloc_cell(250i64)).collect();
+        let mut f = bank_transfer();
+        run_tm_passes(&mut f);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let s = &s;
+                let f = &f;
+                let accounts = &accounts;
+                scope.spawn(move || {
+                    let interp = Interp::new(s);
+                    let mut rng = semtm_core::util::SplitMix64::new(t as u64 + 1);
+                    for _ in 0..200 {
+                        let src = accounts[rng.index(4)].index() as i64;
+                        let dst = accounts[rng.index(4)].index() as i64;
+                        if src == dst {
+                            continue;
+                        }
+                        let amt = 1 + rng.below(100) as i64;
+                        interp.execute(f, &[src, dst, amt]).unwrap();
+                    }
+                });
+            }
+        });
+        let total: i64 = accounts.iter().map(|a| s.read_now(*a)).sum();
+        assert_eq!(total, 1000, "money conserved under concurrent IR runs");
+    }
+}

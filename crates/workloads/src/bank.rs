@@ -1,0 +1,241 @@
+//! The Bank micro-benchmark (paper §7.1).
+//!
+//! "Each transaction performs multiple transfers (at most 10) between
+//! accounts with an overdraft check (i.e., skip the transfer if account
+//! balance is insufficient). In the semantic version of the benchmark,
+//! the reads/writes were transformed into `cmp` and `inc` operations."
+//!
+//! One workload source serves all four algorithms: the overdraft check is
+//! written as `TM_GTE(src, amount)` and the balance updates as
+//! `TM_INC`/`TM_DEC`; baselines transparently delegate these to plain
+//! reads and writes, giving the "base" columns of Table 3.
+//!
+//! Invariant: total money is conserved.
+
+use crate::driver::{run_for_duration, RunResult};
+use semtm_core::util::SplitMix64;
+use semtm_core::{Abort, Stm, TArray, Tx};
+use std::time::Duration;
+
+/// Bank configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BankConfig {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Initial balance per account.
+    pub initial_balance: i64,
+    /// Transfers attempted per transaction (the paper's "at most 10").
+    pub transfers_per_tx: usize,
+    /// Maximum transfer amount (uniform in `1..=max_amount`).
+    pub max_amount: i64,
+    /// Per-mille probability that a transaction additionally audits one
+    /// random account with a plain read (produces the small residual
+    /// read/promote counts visible in Table 3's semantic Bank column).
+    pub audit_per_mille: u32,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accounts: 64,
+            initial_balance: 1_000,
+            transfers_per_tx: 10,
+            max_amount: 100,
+            audit_per_mille: 50,
+        }
+    }
+}
+
+/// Shared bank state over a transactional heap.
+pub struct Bank {
+    accounts: TArray<i64>,
+    config: BankConfig,
+}
+
+impl Bank {
+    /// Allocate and initialise the accounts on `stm`'s heap.
+    pub fn new(stm: &Stm, config: BankConfig) -> Bank {
+        Bank {
+            accounts: TArray::new(stm, config.accounts, config.initial_balance),
+            config,
+        }
+    }
+
+    /// Total money that must be conserved.
+    pub fn expected_total(&self) -> i64 {
+        self.config.accounts as i64 * self.config.initial_balance
+    }
+
+    /// One workload transaction: up to `transfers_per_tx` guarded
+    /// transfers (and occasionally an audit read). Returns the number of
+    /// transfers that passed the overdraft check.
+    pub fn transfer_tx(&self, stm: &Stm, rng: &mut SplitMix64) -> usize {
+        let n = self.config.accounts;
+        // Pre-draw the plan so the body is deterministic across retries.
+        let mut plan = [(0usize, 0usize, 0i64); 16];
+        let count = self.config.transfers_per_tx.min(plan.len());
+        for slot in plan.iter_mut().take(count) {
+            let src = rng.index(n);
+            let mut dst = rng.index(n);
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            *slot = (src, dst, 1 + rng.below(self.config.max_amount as u64) as i64);
+        }
+        let audit = if rng.below(1000) < self.config.audit_per_mille as u64 {
+            Some(rng.index(n))
+        } else {
+            None
+        };
+        stm.atomic(|tx| {
+            let mut done = 0usize;
+            for &(src, dst, amount) in plan.iter().take(count) {
+                done += self.transfer(tx, src, dst, amount)? as usize;
+            }
+            if let Some(acct) = audit {
+                let _ = self.accounts.read(tx, acct)?;
+            }
+            Ok(done)
+        })
+    }
+
+    /// A single guarded transfer inside an open transaction.
+    pub fn transfer(
+        &self,
+        tx: &mut Tx<'_>,
+        src: usize,
+        dst: usize,
+        amount: i64,
+    ) -> Result<bool, Abort> {
+        // Overdraft check: `balance >= amount` — one semantic TM_GTE.
+        if !tx.gte(self.accounts.addr(src), amount)? {
+            return Ok(false);
+        }
+        tx.dec(self.accounts.addr(src), amount)?;
+        tx.inc(self.accounts.addr(dst), amount)?;
+        Ok(true)
+    }
+
+    /// Non-transactional sum of all balances (quiescent verification).
+    pub fn total_now(&self, stm: &Stm) -> i64 {
+        (0..self.config.accounts)
+            .map(|i| self.accounts.read_now(stm, i))
+            .sum()
+    }
+
+    /// Check conservation of money and non-negativity of balances.
+    pub fn verify(&self, stm: &Stm) -> Result<(), String> {
+        let total = self.total_now(stm);
+        if total != self.expected_total() {
+            return Err(format!(
+                "money not conserved: {total} != {}",
+                self.expected_total()
+            ));
+        }
+        for i in 0..self.config.accounts {
+            let b = self.accounts.read_now(stm, i);
+            if b < 0 {
+                return Err(format!("account {i} overdrawn: {b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Measured run for the figure harness: `threads` workers for `duration`.
+pub fn run(stm: &Stm, config: BankConfig, threads: usize, duration: Duration, seed: u64) -> RunResult {
+    let bank = Bank::new(stm, config);
+    let r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
+        bank.transfer_tx(stm, rng);
+    });
+    bank.verify(stm).expect("bank invariant violated");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semtm_core::{Algorithm, StmConfig};
+
+    fn stm(alg: Algorithm) -> Stm {
+        Stm::new(StmConfig::new(alg).heap_words(1 << 12).orec_count(1 << 8))
+    }
+
+    #[test]
+    fn transfers_conserve_money_single_thread() {
+        for alg in Algorithm::ALL {
+            let s = stm(alg);
+            let bank = Bank::new(&s, BankConfig::default());
+            let mut rng = SplitMix64::new(11);
+            for _ in 0..50 {
+                bank.transfer_tx(&s, &mut rng);
+            }
+            bank.verify(&s).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn overdraft_check_blocks_insufficient_transfers() {
+        let s = stm(Algorithm::SNOrec);
+        let bank = Bank::new(
+            &s,
+            BankConfig {
+                accounts: 2,
+                initial_balance: 10,
+                ..BankConfig::default()
+            },
+        );
+        let moved = s.atomic(|tx| bank.transfer(tx, 0, 1, 50));
+        assert!(!moved, "transfer above balance must be skipped");
+        let moved = s.atomic(|tx| bank.transfer(tx, 0, 1, 10));
+        assert!(moved, "transfer of exactly the balance is allowed");
+        assert_eq!(bank.total_now(&s), 20);
+    }
+
+    #[test]
+    fn concurrent_run_conserves_money_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let s = stm(alg);
+            let r = run(
+                &s,
+                BankConfig {
+                    accounts: 16,
+                    ..BankConfig::default()
+                },
+                4,
+                Duration::from_millis(60),
+                3,
+            );
+            assert!(r.total_ops > 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn semantic_mode_reports_cmps_and_incs() {
+        let s = stm(Algorithm::SNOrec);
+        let bank = Bank::new(&s, BankConfig::default());
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..20 {
+            bank.transfer_tx(&s, &mut rng);
+        }
+        let st = s.stats();
+        assert!(st.cmps_per_tx() > 5.0, "overdraft checks are compares");
+        assert!(st.incs_per_tx() > 5.0, "balance updates are increments");
+        assert!(st.reads_per_tx() < 1.0, "only rare audit reads remain");
+    }
+
+    #[test]
+    fn base_mode_reports_reads_and_writes() {
+        let s = stm(Algorithm::NOrec);
+        let bank = Bank::new(&s, BankConfig::default());
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..20 {
+            bank.transfer_tx(&s, &mut rng);
+        }
+        let st = s.stats();
+        assert!(st.reads_per_tx() > 10.0);
+        assert!(st.writes_per_tx() > 5.0);
+        assert_eq!(st.cmps, 0);
+        assert_eq!(st.incs, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # semtm-workloads — the paper's benchmark applications
+//!
+//! Rust ports of every workload evaluated in *"Extending TM Primitives
+//! using Low Level Semantics"* (SPAA 2016), §7:
+//!
+//! * micro-benchmarks: [`bank`], [`hashtable`] (open addressing, paper
+//!   Algorithm 2), [`lru`], plus the [`queue`] of Algorithm 3;
+//! * STAMP ports under [`stamp`]: Vacation, Kmeans, Labyrinth (plain and
+//!   the optimised variant of Ruan et al.), Yada, and the reduced
+//!   Genome / Intruder / SSCA2 kernels used for Table 3's operation
+//!   profiles.
+//!
+//! Every workload is written once against the extended TM API; the
+//! baseline algorithms transparently delegate semantic calls to plain
+//! reads/writes, so the same source produces both the "base" and
+//! "semantic" columns of Table 3.
+//!
+//! The [`driver`] module provides the thread/timing harness shared by the
+//! figure generators in `semtm-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod driver;
+pub mod hashtable;
+pub mod lru;
+pub mod queue;
+pub mod stamp;

@@ -1,0 +1,12 @@
+//! STAMP application ports (Minh et al., IISWC 2008), restructured over
+//! the semantic TM API. See DESIGN.md for the substitution notes.
+
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod rbtree;
+pub mod ssca2;
+pub mod tmap;
+pub mod vacation;
+pub mod yada;

@@ -1,0 +1,567 @@
+//! A transactional **red-black tree** over the TM heap — the exact index
+//! structure STAMP's Vacation uses.
+//!
+//! CLRS-style implementation with parent pointers and a per-tree
+//! sentinel NIL node. All node fields live in transactional heap words,
+//! so rotations and fixups are ordinary transactional reads/writes and
+//! the tree is linearizable under any of the four algorithms.
+//!
+//! Note on the sentinel: `transplant`/`delete-fixup` write the
+//! sentinel's parent field (as in CLRS), which serialises concurrent
+//! deletes through one hot word. That is a performance artifact the real
+//! STAMP tree shares, not a correctness issue — under TM the writes are
+//! isolated like any other.
+//!
+//! Node layout (6 heap words): `key, value, left, right, parent, color`.
+
+use semtm_core::{Abort, Addr, Stm, TVar, Tx};
+
+const KEY: usize = 0;
+const VAL: usize = 1;
+const LEFT: usize = 2;
+const RIGHT: usize = 3;
+const PARENT: usize = 4;
+const COLOR: usize = 5;
+
+const RED: i64 = 1;
+const BLACK: i64 = 0;
+
+#[inline]
+fn field(node: i64, f: usize) -> Addr {
+    debug_assert!(node >= 0);
+    Addr::from_index(node as usize + f)
+}
+
+/// Transactional red-black map from `i64` keys to one `i64` value word.
+pub struct RbMap {
+    root: TVar<i64>,
+    /// The sentinel NIL node (black; child/parent fields are scratch).
+    nil: i64,
+}
+
+impl RbMap {
+    /// Create an empty map (allocates the sentinel).
+    pub fn new(stm: &Stm) -> RbMap {
+        let nil = stm.alloc(6);
+        let nil_id = nil.index() as i64;
+        stm.write_now(nil.offset(KEY), 0);
+        stm.write_now(nil.offset(VAL), 0);
+        stm.write_now(nil.offset(LEFT), nil_id);
+        stm.write_now(nil.offset(RIGHT), nil_id);
+        stm.write_now(nil.offset(PARENT), nil_id);
+        stm.write_now(nil.offset(COLOR), BLACK);
+        RbMap {
+            root: TVar::new(stm, nil_id),
+            nil: nil_id,
+        }
+    }
+
+    #[inline]
+    fn is_nil(&self, n: i64) -> bool {
+        n == self.nil
+    }
+
+    fn alloc_node(&self, stm: &Stm, key: i64, value: i64) -> i64 {
+        let a = stm.alloc(6);
+        let id = a.index() as i64;
+        stm.write_now(a.offset(KEY), key);
+        stm.write_now(a.offset(VAL), value);
+        stm.write_now(a.offset(LEFT), self.nil);
+        stm.write_now(a.offset(RIGHT), self.nil);
+        stm.write_now(a.offset(PARENT), self.nil);
+        stm.write_now(a.offset(COLOR), RED);
+        id
+    }
+
+    // --- field helpers (transactional) ---
+    fn get_f(&self, tx: &mut Tx<'_>, n: i64, f: usize) -> Result<i64, Abort> {
+        tx.read(field(n, f))
+    }
+    fn set_f(&self, tx: &mut Tx<'_>, n: i64, f: usize, v: i64) -> Result<(), Abort> {
+        tx.write(field(n, f), v)
+    }
+
+    /// Transactional lookup (plain traversal reads, like STAMP's).
+    pub fn get(&self, tx: &mut Tx<'_>, key: i64) -> Result<Option<i64>, Abort> {
+        let mut cur = self.root.read(tx)?;
+        while !self.is_nil(cur) {
+            let k = self.get_f(tx, cur, KEY)?;
+            if key == k {
+                return Ok(Some(self.get_f(tx, cur, VAL)?));
+            }
+            cur = self.get_f(tx, cur, if key < k { LEFT } else { RIGHT })?;
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: i64) -> Result<bool, Abort> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    fn rotate_left(&self, tx: &mut Tx<'_>, x: i64) -> Result<(), Abort> {
+        let y = self.get_f(tx, x, RIGHT)?;
+        let yl = self.get_f(tx, y, LEFT)?;
+        self.set_f(tx, x, RIGHT, yl)?;
+        if !self.is_nil(yl) {
+            self.set_f(tx, yl, PARENT, x)?;
+        }
+        let xp = self.get_f(tx, x, PARENT)?;
+        self.set_f(tx, y, PARENT, xp)?;
+        if self.is_nil(xp) {
+            self.root.write(tx, y)?;
+        } else if self.get_f(tx, xp, LEFT)? == x {
+            self.set_f(tx, xp, LEFT, y)?;
+        } else {
+            self.set_f(tx, xp, RIGHT, y)?;
+        }
+        self.set_f(tx, y, LEFT, x)?;
+        self.set_f(tx, x, PARENT, y)?;
+        Ok(())
+    }
+
+    fn rotate_right(&self, tx: &mut Tx<'_>, x: i64) -> Result<(), Abort> {
+        let y = self.get_f(tx, x, LEFT)?;
+        let yr = self.get_f(tx, y, RIGHT)?;
+        self.set_f(tx, x, LEFT, yr)?;
+        if !self.is_nil(yr) {
+            self.set_f(tx, yr, PARENT, x)?;
+        }
+        let xp = self.get_f(tx, x, PARENT)?;
+        self.set_f(tx, y, PARENT, xp)?;
+        if self.is_nil(xp) {
+            self.root.write(tx, y)?;
+        } else if self.get_f(tx, xp, RIGHT)? == x {
+            self.set_f(tx, xp, RIGHT, y)?;
+        } else {
+            self.set_f(tx, xp, LEFT, y)?;
+        }
+        self.set_f(tx, y, RIGHT, x)?;
+        self.set_f(tx, x, PARENT, y)?;
+        Ok(())
+    }
+
+    /// Insert `key -> value`; overwrites and returns `false` if present.
+    pub fn insert(&self, stm: &Stm, tx: &mut Tx<'_>, key: i64, value: i64) -> Result<bool, Abort> {
+        let mut parent = self.nil;
+        let mut cur = self.root.read(tx)?;
+        while !self.is_nil(cur) {
+            let k = self.get_f(tx, cur, KEY)?;
+            if key == k {
+                self.set_f(tx, cur, VAL, value)?;
+                return Ok(false);
+            }
+            parent = cur;
+            cur = self.get_f(tx, cur, if key < k { LEFT } else { RIGHT })?;
+        }
+        let z = self.alloc_node(stm, key, value);
+        self.set_f(tx, z, PARENT, parent)?;
+        if self.is_nil(parent) {
+            self.root.write(tx, z)?;
+        } else {
+            let pk = self.get_f(tx, parent, KEY)?;
+            self.set_f(tx, parent, if key < pk { LEFT } else { RIGHT }, z)?;
+        }
+        self.insert_fixup(tx, z)?;
+        Ok(true)
+    }
+
+    fn insert_fixup(&self, tx: &mut Tx<'_>, mut z: i64) -> Result<(), Abort> {
+        loop {
+            let zp = self.get_f(tx, z, PARENT)?;
+            if self.is_nil(zp) || self.get_f(tx, zp, COLOR)? == BLACK {
+                break;
+            }
+            let zpp = self.get_f(tx, zp, PARENT)?;
+            debug_assert!(!self.is_nil(zpp), "red node's parent is red root?");
+            if self.get_f(tx, zpp, LEFT)? == zp {
+                let uncle = self.get_f(tx, zpp, RIGHT)?;
+                if !self.is_nil(uncle) && self.get_f(tx, uncle, COLOR)? == RED {
+                    self.set_f(tx, zp, COLOR, BLACK)?;
+                    self.set_f(tx, uncle, COLOR, BLACK)?;
+                    self.set_f(tx, zpp, COLOR, RED)?;
+                    z = zpp;
+                } else {
+                    if self.get_f(tx, zp, RIGHT)? == z {
+                        z = zp;
+                        self.rotate_left(tx, z)?;
+                    }
+                    let zp = self.get_f(tx, z, PARENT)?;
+                    let zpp = self.get_f(tx, zp, PARENT)?;
+                    self.set_f(tx, zp, COLOR, BLACK)?;
+                    self.set_f(tx, zpp, COLOR, RED)?;
+                    self.rotate_right(tx, zpp)?;
+                }
+            } else {
+                let uncle = self.get_f(tx, zpp, LEFT)?;
+                if !self.is_nil(uncle) && self.get_f(tx, uncle, COLOR)? == RED {
+                    self.set_f(tx, zp, COLOR, BLACK)?;
+                    self.set_f(tx, uncle, COLOR, BLACK)?;
+                    self.set_f(tx, zpp, COLOR, RED)?;
+                    z = zpp;
+                } else {
+                    if self.get_f(tx, zp, LEFT)? == z {
+                        z = zp;
+                        self.rotate_right(tx, z)?;
+                    }
+                    let zp = self.get_f(tx, z, PARENT)?;
+                    let zpp = self.get_f(tx, zp, PARENT)?;
+                    self.set_f(tx, zp, COLOR, BLACK)?;
+                    self.set_f(tx, zpp, COLOR, RED)?;
+                    self.rotate_left(tx, zpp)?;
+                }
+            }
+        }
+        let root = self.root.read(tx)?;
+        self.set_f(tx, root, COLOR, BLACK)?;
+        Ok(())
+    }
+
+    /// Replace subtree `u` with subtree `v` (CLRS transplant). Writes
+    /// `v`'s parent even when `v` is the sentinel, as CLRS does.
+    fn transplant(&self, tx: &mut Tx<'_>, u: i64, v: i64) -> Result<(), Abort> {
+        let up = self.get_f(tx, u, PARENT)?;
+        if self.is_nil(up) {
+            self.root.write(tx, v)?;
+        } else if self.get_f(tx, up, LEFT)? == u {
+            self.set_f(tx, up, LEFT, v)?;
+        } else {
+            self.set_f(tx, up, RIGHT, v)?;
+        }
+        self.set_f(tx, v, PARENT, up)?;
+        Ok(())
+    }
+
+    fn minimum(&self, tx: &mut Tx<'_>, mut n: i64) -> Result<i64, Abort> {
+        loop {
+            let l = self.get_f(tx, n, LEFT)?;
+            if self.is_nil(l) {
+                return Ok(n);
+            }
+            n = l;
+        }
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: i64) -> Result<Option<i64>, Abort> {
+        // Find the node.
+        let mut z = self.root.read(tx)?;
+        loop {
+            if self.is_nil(z) {
+                return Ok(None);
+            }
+            let k = self.get_f(tx, z, KEY)?;
+            if key == k {
+                break;
+            }
+            z = self.get_f(tx, z, if key < k { LEFT } else { RIGHT })?;
+        }
+        let removed = self.get_f(tx, z, VAL)?;
+
+        let mut y = z;
+        let mut y_color = self.get_f(tx, y, COLOR)?;
+        let x;
+        let zl = self.get_f(tx, z, LEFT)?;
+        let zr = self.get_f(tx, z, RIGHT)?;
+        if self.is_nil(zl) {
+            x = zr;
+            self.transplant(tx, z, zr)?;
+        } else if self.is_nil(zr) {
+            x = zl;
+            self.transplant(tx, z, zl)?;
+        } else {
+            y = self.minimum(tx, zr)?;
+            y_color = self.get_f(tx, y, COLOR)?;
+            x = self.get_f(tx, y, RIGHT)?;
+            if self.get_f(tx, y, PARENT)? == z {
+                self.set_f(tx, x, PARENT, y)?; // may write the sentinel
+            } else {
+                self.transplant(tx, y, x)?;
+                self.set_f(tx, y, RIGHT, zr)?;
+                self.set_f(tx, zr, PARENT, y)?;
+            }
+            self.transplant(tx, z, y)?;
+            let zl2 = self.get_f(tx, z, LEFT)?;
+            self.set_f(tx, y, LEFT, zl2)?;
+            self.set_f(tx, zl2, PARENT, y)?;
+            let zc = self.get_f(tx, z, COLOR)?;
+            self.set_f(tx, y, COLOR, zc)?;
+        }
+        if y_color == BLACK {
+            self.delete_fixup(tx, x)?;
+        }
+        Ok(Some(removed))
+    }
+
+    fn delete_fixup(&self, tx: &mut Tx<'_>, mut x: i64) -> Result<(), Abort> {
+        loop {
+            let root = self.root.read(tx)?;
+            if x == root || self.get_f(tx, x, COLOR)? == RED {
+                break;
+            }
+            let xp = self.get_f(tx, x, PARENT)?;
+            if self.get_f(tx, xp, LEFT)? == x {
+                let mut w = self.get_f(tx, xp, RIGHT)?;
+                if self.get_f(tx, w, COLOR)? == RED {
+                    self.set_f(tx, w, COLOR, BLACK)?;
+                    self.set_f(tx, xp, COLOR, RED)?;
+                    self.rotate_left(tx, xp)?;
+                    w = self.get_f(tx, xp, RIGHT)?;
+                }
+                let wl = self.get_f(tx, w, LEFT)?;
+                let wr = self.get_f(tx, w, RIGHT)?;
+                let wl_black = self.is_nil(wl) || self.get_f(tx, wl, COLOR)? == BLACK;
+                let wr_black = self.is_nil(wr) || self.get_f(tx, wr, COLOR)? == BLACK;
+                if wl_black && wr_black {
+                    self.set_f(tx, w, COLOR, RED)?;
+                    x = xp;
+                } else {
+                    if wr_black {
+                        if !self.is_nil(wl) {
+                            self.set_f(tx, wl, COLOR, BLACK)?;
+                        }
+                        self.set_f(tx, w, COLOR, RED)?;
+                        self.rotate_right(tx, w)?;
+                        w = self.get_f(tx, xp, RIGHT)?;
+                    }
+                    let xpc = self.get_f(tx, xp, COLOR)?;
+                    self.set_f(tx, w, COLOR, xpc)?;
+                    self.set_f(tx, xp, COLOR, BLACK)?;
+                    let wr2 = self.get_f(tx, w, RIGHT)?;
+                    if !self.is_nil(wr2) {
+                        self.set_f(tx, wr2, COLOR, BLACK)?;
+                    }
+                    self.rotate_left(tx, xp)?;
+                    x = self.root.read(tx)?;
+                }
+            } else {
+                let mut w = self.get_f(tx, xp, LEFT)?;
+                if self.get_f(tx, w, COLOR)? == RED {
+                    self.set_f(tx, w, COLOR, BLACK)?;
+                    self.set_f(tx, xp, COLOR, RED)?;
+                    self.rotate_right(tx, xp)?;
+                    w = self.get_f(tx, xp, LEFT)?;
+                }
+                let wl = self.get_f(tx, w, LEFT)?;
+                let wr = self.get_f(tx, w, RIGHT)?;
+                let wl_black = self.is_nil(wl) || self.get_f(tx, wl, COLOR)? == BLACK;
+                let wr_black = self.is_nil(wr) || self.get_f(tx, wr, COLOR)? == BLACK;
+                if wl_black && wr_black {
+                    self.set_f(tx, w, COLOR, RED)?;
+                    x = xp;
+                } else {
+                    if wl_black {
+                        if !self.is_nil(wr) {
+                            self.set_f(tx, wr, COLOR, BLACK)?;
+                        }
+                        self.set_f(tx, w, COLOR, RED)?;
+                        self.rotate_left(tx, w)?;
+                        w = self.get_f(tx, xp, LEFT)?;
+                    }
+                    let xpc = self.get_f(tx, xp, COLOR)?;
+                    self.set_f(tx, w, COLOR, xpc)?;
+                    self.set_f(tx, xp, COLOR, BLACK)?;
+                    let wl2 = self.get_f(tx, w, LEFT)?;
+                    if !self.is_nil(wl2) {
+                        self.set_f(tx, wl2, COLOR, BLACK)?;
+                    }
+                    self.rotate_right(tx, xp)?;
+                    x = self.root.read(tx)?;
+                }
+            }
+        }
+        if !self.is_nil(x) {
+            self.set_f(tx, x, COLOR, BLACK)?;
+        }
+        Ok(())
+    }
+
+    /// Non-transactional in-order walk (quiescent verification only).
+    pub fn for_each_now(&self, stm: &Stm, mut f: impl FnMut(i64, i64)) {
+        fn walk(stm: &Stm, nil: i64, node: i64, f: &mut impl FnMut(i64, i64)) {
+            if node == nil {
+                return;
+            }
+            walk(stm, nil, stm.read_now(field(node, LEFT)), f);
+            f(
+                stm.read_now(field(node, KEY)),
+                stm.read_now(field(node, VAL)),
+            );
+            walk(stm, nil, stm.read_now(field(node, RIGHT)), f);
+        }
+        walk(stm, self.nil, self.root.read_now(stm), &mut f);
+    }
+
+    /// Quiescent element count.
+    pub fn len_now(&self, stm: &Stm) -> usize {
+        let mut n = 0;
+        self.for_each_now(stm, |_, _| n += 1);
+        n
+    }
+
+    /// Quiescent structural verification: BST order, red nodes have
+    /// black children, equal black height on every path, correct parent
+    /// pointers, black root. Returns the tree's black height.
+    pub fn verify(&self, stm: &Stm) -> Result<usize, String> {
+        let root = self.root.read_now(stm);
+        if root != self.nil {
+            if stm.read_now(field(root, COLOR)) != BLACK {
+                return Err("root is red".into());
+            }
+            if stm.read_now(field(root, PARENT)) != self.nil {
+                return Err("root has a parent".into());
+            }
+        }
+        let mut last: Option<i64> = None;
+        let mut order_err = None;
+        self.for_each_now(stm, |k, _| {
+            if let Some(prev) = last {
+                if prev >= k && order_err.is_none() {
+                    order_err = Some(format!("BST order violated: {prev} >= {k}"));
+                }
+            }
+            last = Some(k);
+        });
+        if let Some(e) = order_err {
+            return Err(e);
+        }
+        self.check_node(stm, root)
+    }
+
+    fn check_node(&self, stm: &Stm, n: i64) -> Result<usize, String> {
+        if n == self.nil {
+            return Ok(1); // nil leaves are black
+        }
+        let color = stm.read_now(field(n, COLOR));
+        if color != RED && color != BLACK {
+            return Err(format!("node {n} has bogus color {color}"));
+        }
+        for side in [LEFT, RIGHT] {
+            let c = stm.read_now(field(n, side));
+            if c != self.nil {
+                if stm.read_now(field(c, PARENT)) != n {
+                    return Err(format!("node {c}: bad parent pointer"));
+                }
+                if color == RED && stm.read_now(field(c, COLOR)) == RED {
+                    return Err(format!("red node {n} has red child {c}"));
+                }
+            }
+        }
+        let lh = self.check_node(stm, stm.read_now(field(n, LEFT)))?;
+        let rh = self.check_node(stm, stm.read_now(field(n, RIGHT)))?;
+        if lh != rh {
+            return Err(format!("black-height mismatch at node {n}: {lh} vs {rh}"));
+        }
+        Ok(lh + usize::from(color == BLACK))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semtm_core::util::SplitMix64;
+    use semtm_core::{Algorithm, StmConfig};
+
+    fn stm(alg: Algorithm) -> Stm {
+        Stm::new(StmConfig::new(alg).heap_words(1 << 20).orec_count(1 << 10))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        for alg in Algorithm::ALL {
+            let s = stm(alg);
+            let m = RbMap::new(&s);
+            for k in [5i64, 2, 8, 1, 3, 7, 9, 6] {
+                assert!(s.atomic(|tx| m.insert(&s, tx, k, k * 10)), "{alg}");
+                m.verify(&s).unwrap_or_else(|e| panic!("{alg} after insert {k}: {e}"));
+            }
+            assert!(!s.atomic(|tx| m.insert(&s, tx, 5, 55)), "overwrite");
+            assert_eq!(s.atomic(|tx| m.get(tx, 5)), Some(55));
+            for k in [1i64, 9, 5, 2, 8, 3, 7, 6] {
+                assert!(s.atomic(|tx| m.remove(tx, k)).is_some(), "{alg} remove {k}");
+                m.verify(&s).unwrap_or_else(|e| panic!("{alg} after remove {k}: {e}"));
+            }
+            assert_eq!(m.len_now(&s), 0);
+        }
+    }
+
+    #[test]
+    fn random_workout_matches_model_and_stays_balanced() {
+        let s = stm(Algorithm::SNOrec);
+        let m = RbMap::new(&s);
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = SplitMix64::new(2024);
+        for step in 0..1500 {
+            let key = rng.below(128) as i64;
+            match rng.below(3) {
+                0 => {
+                    let fresh = s.atomic(|tx| m.insert(&s, tx, key, key * 3));
+                    assert_eq!(fresh, model.insert(key, key * 3).is_none(), "step {step}");
+                }
+                1 => {
+                    let got = s.atomic(|tx| m.get(tx, key));
+                    assert_eq!(got, model.get(&key).copied(), "step {step}");
+                }
+                _ => {
+                    let got = s.atomic(|tx| m.remove(tx, key));
+                    assert_eq!(got, model.remove(&key), "step {step}");
+                }
+            }
+            if step % 100 == 0 {
+                m.verify(&s).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        m.verify(&s).unwrap();
+        let mut pairs = Vec::new();
+        m.for_each_now(&s, |k, v| pairs.push((k, v)));
+        assert_eq!(pairs, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_inserts_stay_logarithmic() {
+        // The workload that ruins a plain BST: monotonically increasing
+        // keys. The RB invariants (verified) bound the height.
+        let s = stm(Algorithm::STl2);
+        let m = RbMap::new(&s);
+        for k in 0..512i64 {
+            s.atomic(|tx| m.insert(&s, tx, k, k));
+        }
+        let bh = m.verify(&s).unwrap();
+        // Black height of a 512-node RB tree is at most ~log2(n)+1.
+        assert!(bh <= 11, "black height {bh} too large");
+        assert_eq!(m.len_now(&s), 512);
+    }
+
+    #[test]
+    fn concurrent_mixed_operations_keep_invariants() {
+        for alg in [Algorithm::SNOrec, Algorithm::STl2] {
+            let s = stm(alg);
+            let m = RbMap::new(&s);
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let s = &s;
+                    let m = &m;
+                    scope.spawn(move || {
+                        let mut rng = SplitMix64::new(t + 7);
+                        for _ in 0..200 {
+                            let key = rng.below(96) as i64;
+                            match rng.below(3) {
+                                0 => {
+                                    s.atomic(|tx| m.insert(s, tx, key, key));
+                                }
+                                1 => {
+                                    s.atomic(|tx| m.get(tx, key));
+                                }
+                                _ => {
+                                    s.atomic(|tx| m.remove(tx, key));
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            m.verify(&s)
+                .unwrap_or_else(|e| panic!("{alg}: RB invariants broken: {e}"));
+        }
+    }
+}

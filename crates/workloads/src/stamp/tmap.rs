@@ -1,0 +1,292 @@
+//! A transactional ordered map over the TM heap — an unbalanced binary
+//! search tree.
+//!
+//! This is the simpler sibling of [`super::rbtree::RbMap`] (which is
+//! what Vacation actually uses): same API, no rebalancing. It stays in
+//! the tree for two reasons: it exercises the TM API with a second
+//! pointer-based data structure in tests, and it demonstrates that the
+//! transactional-heap programming model does not depend on any
+//! particular structure invariants. With uniformly random keys its
+//! traversal-read profile matches the RB tree's expected O(log n).
+//! Deleted nodes are unlinked but not recycled (epoch-free arena),
+//! which is safe under TM and bounded for the benchmark's run lengths.
+//!
+//! Node layout (4 heap words): `key, value, left, right`; `-1` is nil.
+
+use semtm_core::{Abort, Addr, Stm, TVar, Tx};
+
+const NIL: i64 = -1;
+
+const KEY: usize = 0;
+const VAL: usize = 1;
+const LEFT: usize = 2;
+const RIGHT: usize = 3;
+
+#[inline]
+fn field(node: i64, f: usize) -> Addr {
+    debug_assert!(node >= 0);
+    Addr::from_index(node as usize + f)
+}
+
+/// Transactional map from `i64` keys to one `i64` value word.
+pub struct TMap {
+    root: TVar<i64>,
+}
+
+impl TMap {
+    /// Create an empty map.
+    pub fn new(stm: &Stm) -> TMap {
+        TMap {
+            root: TVar::new(stm, NIL),
+        }
+    }
+
+    fn alloc_node(stm: &Stm, key: i64, value: i64) -> i64 {
+        let a = stm.alloc(4);
+        stm.write_now(a.offset(KEY), key);
+        stm.write_now(a.offset(VAL), value);
+        stm.write_now(a.offset(LEFT), NIL);
+        stm.write_now(a.offset(RIGHT), NIL);
+        a.index() as i64
+    }
+
+    /// Transactional lookup. Traversal uses plain reads (see module doc).
+    pub fn get(&self, tx: &mut Tx<'_>, key: i64) -> Result<Option<i64>, Abort> {
+        let mut cur = self.root.read(tx)?;
+        while cur != NIL {
+            let k = tx.read(field(cur, KEY))?;
+            if key == k {
+                return Ok(Some(tx.read(field(cur, VAL))?));
+            }
+            cur = tx.read(field(cur, if key < k { LEFT } else { RIGHT }))?;
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: i64) -> Result<bool, Abort> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Insert `key -> value`; overwrites and returns `false` if present.
+    ///
+    /// New nodes are arena-allocated outside transactional control (an
+    /// aborted attempt leaks its node — bump allocation makes this safe).
+    pub fn insert(&self, stm: &Stm, tx: &mut Tx<'_>, key: i64, value: i64) -> Result<bool, Abort> {
+        let mut cur = self.root.read(tx)?;
+        if cur == NIL {
+            let node = Self::alloc_node(stm, key, value);
+            self.root.write(tx, node)?;
+            return Ok(true);
+        }
+        loop {
+            let k = tx.read(field(cur, KEY))?;
+            if key == k {
+                tx.write(field(cur, VAL), value)?;
+                return Ok(false);
+            }
+            let dir = if key < k { LEFT } else { RIGHT };
+            let next = tx.read(field(cur, dir))?;
+            if next == NIL {
+                let node = Self::alloc_node(stm, key, value);
+                tx.write(field(cur, dir), node)?;
+                return Ok(true);
+            }
+            cur = next;
+        }
+    }
+
+    /// Remove `key`, returning its value if present. Standard BST delete:
+    /// two-child nodes take their in-order successor's key/value and the
+    /// successor is spliced out.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: i64) -> Result<Option<i64>, Abort> {
+        // Locate node and its parent link.
+        let mut parent: Option<(i64, usize)> = None; // (node, which-child)
+        let mut cur = self.root.read(tx)?;
+        let removed_val;
+        loop {
+            if cur == NIL {
+                return Ok(None);
+            }
+            let k = tx.read(field(cur, KEY))?;
+            if key == k {
+                removed_val = tx.read(field(cur, VAL))?;
+                break;
+            }
+            let dir = if key < k { LEFT } else { RIGHT };
+            parent = Some((cur, dir));
+            cur = tx.read(field(cur, dir))?;
+        }
+
+        let left = tx.read(field(cur, LEFT))?;
+        let right = tx.read(field(cur, RIGHT))?;
+        if left != NIL && right != NIL {
+            // Two children: copy the in-order successor into `cur`, then
+            // splice the successor (which has no left child) out.
+            let mut sparent = cur;
+            let mut sdir = RIGHT;
+            let mut succ = right;
+            loop {
+                let sl = tx.read(field(succ, LEFT))?;
+                if sl == NIL {
+                    break;
+                }
+                sparent = succ;
+                sdir = LEFT;
+                succ = sl;
+            }
+            let sk = tx.read(field(succ, KEY))?;
+            let sv = tx.read(field(succ, VAL))?;
+            tx.write(field(cur, KEY), sk)?;
+            tx.write(field(cur, VAL), sv)?;
+            let srep = tx.read(field(succ, RIGHT))?;
+            tx.write(field(sparent, sdir), srep)?;
+        } else {
+            let replacement = if left != NIL { left } else { right };
+            match parent {
+                Some((p, dir)) => tx.write(field(p, dir), replacement)?,
+                None => self.root.write(tx, replacement)?,
+            }
+        }
+        Ok(Some(removed_val))
+    }
+
+    /// Non-transactional in-order walk (quiescent verification only).
+    pub fn for_each_now(&self, stm: &Stm, mut f: impl FnMut(i64, i64)) {
+        fn walk(stm: &Stm, node: i64, f: &mut impl FnMut(i64, i64)) {
+            if node == NIL {
+                return;
+            }
+            walk(stm, stm.read_now(field(node, LEFT)), f);
+            f(
+                stm.read_now(field(node, KEY)),
+                stm.read_now(field(node, VAL)),
+            );
+            walk(stm, stm.read_now(field(node, RIGHT)), f);
+        }
+        walk(stm, self.root.read_now(stm), &mut f);
+    }
+
+    /// Quiescent element count.
+    pub fn len_now(&self, stm: &Stm) -> usize {
+        let mut n = 0;
+        self.for_each_now(stm, |_, _| n += 1);
+        n
+    }
+
+    /// Quiescent BST-order integrity check.
+    pub fn verify(&self, stm: &Stm) -> Result<(), String> {
+        let mut last: Option<i64> = None;
+        let mut err = None;
+        self.for_each_now(stm, |k, _| {
+            if let Some(prev) = last {
+                if prev >= k && err.is_none() {
+                    err = Some(format!("BST order violated: {prev} >= {k}"));
+                }
+            }
+            last = Some(k);
+        });
+        err.map_or(Ok(()), Err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semtm_core::util::SplitMix64;
+    use semtm_core::{Algorithm, StmConfig};
+
+    fn stm(alg: Algorithm) -> Stm {
+        Stm::new(StmConfig::new(alg).heap_words(1 << 18).orec_count(1 << 10))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        for alg in Algorithm::ALL {
+            let s = stm(alg);
+            let m = TMap::new(&s);
+            assert!(s.atomic(|tx| m.insert(&s, tx, 5, 50)));
+            assert!(s.atomic(|tx| m.insert(&s, tx, 2, 20)));
+            assert!(s.atomic(|tx| m.insert(&s, tx, 8, 80)));
+            assert!(!s.atomic(|tx| m.insert(&s, tx, 5, 55)), "overwrite");
+            assert_eq!(s.atomic(|tx| m.get(tx, 5)), Some(55), "{alg}");
+            assert_eq!(s.atomic(|tx| m.get(tx, 3)), None);
+            assert_eq!(s.atomic(|tx| m.remove(tx, 5)), Some(55));
+            assert_eq!(s.atomic(|tx| m.get(tx, 5)), None);
+            assert_eq!(s.atomic(|tx| m.remove(tx, 5)), None);
+            m.verify(&s).unwrap();
+            assert_eq!(m.len_now(&s), 2);
+        }
+    }
+
+    #[test]
+    fn random_workout_matches_model() {
+        let s = stm(Algorithm::SNOrec);
+        let m = TMap::new(&s);
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..600 {
+            let key = rng.below(64) as i64;
+            match rng.below(3) {
+                0 => {
+                    let fresh = s.atomic(|tx| m.insert(&s, tx, key, key * 7));
+                    assert_eq!(fresh, model.insert(key, key * 7).is_none());
+                }
+                1 => {
+                    let got = s.atomic(|tx| m.get(tx, key));
+                    assert_eq!(got, model.get(&key).copied());
+                }
+                _ => {
+                    let got = s.atomic(|tx| m.remove(tx, key));
+                    assert_eq!(got, model.remove(&key));
+                }
+            }
+        }
+        m.verify(&s).unwrap();
+        assert_eq!(m.len_now(&s), model.len());
+        let mut pairs = Vec::new();
+        m.for_each_now(&s, |k, v| pairs.push((k, v)));
+        assert_eq!(pairs, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_two_children_cases() {
+        let s = stm(Algorithm::STl2);
+        let m = TMap::new(&s);
+        for k in [50, 30, 70, 20, 40, 60, 80, 65] {
+            s.atomic(|tx| m.insert(&s, tx, k, k));
+        }
+        // Remove root (two children, successor has a right child).
+        assert_eq!(s.atomic(|tx| m.remove(tx, 50)), Some(50));
+        m.verify(&s).unwrap();
+        // Remove a node whose successor is its own right child.
+        assert_eq!(s.atomic(|tx| m.remove(tx, 60)), Some(60));
+        m.verify(&s).unwrap();
+        assert_eq!(m.len_now(&s), 6);
+        for k in [30, 70, 20, 40, 80, 65] {
+            assert_eq!(s.atomic(|tx| m.get(tx, k)), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        for alg in [Algorithm::SNOrec, Algorithm::STl2] {
+            let s = stm(alg);
+            let m = TMap::new(&s);
+            std::thread::scope(|scope| {
+                for t in 0..4i64 {
+                    let s = &s;
+                    let m = &m;
+                    scope.spawn(move || {
+                        for i in 0..100i64 {
+                            let key = t * 1000 + i;
+                            s.atomic(|tx| m.insert(s, tx, key, key));
+                        }
+                    });
+                }
+            });
+            assert_eq!(m.len_now(&s), 400, "{alg}");
+            m.verify(&s).unwrap();
+        }
+    }
+}

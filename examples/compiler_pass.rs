@@ -1,0 +1,83 @@
+//! The GCC-integration pipeline (paper §6), end to end: write a kernel
+//! in classical TM style, let `tm_mark` discover the semantic patterns,
+//! let `tm_optimize` delete the dead transactional reads, then execute
+//! both versions and compare TM-runtime dispatch counts.
+//!
+//! ```text
+//! cargo run --release --example compiler_pass
+//! ```
+
+use semtm::ir::{parse_function, run_tm_passes, Interp};
+use semtm::{Algorithm, Stm, StmConfig};
+
+const KERNEL: &str = r"
+; withdraw_if_covered(account, fee_sink, amount):
+;   atomic {
+;     if (*account >= amount) {
+;       *account = *account - amount;
+;       *fee_sink = *fee_sink + 1;
+;     }
+;   }
+func withdraw_if_covered(3) {
+entry:
+  tmbegin
+  r3 = tmload r0
+  r4 = cmp.gte r3, r2
+  condbr r4, covered, out
+covered:
+  r5 = tmload r0
+  r6 = sub r5, r2
+  tmstore r0, r6
+  r7 = tmload r1
+  r8 = add r7, 1
+  tmstore r1, r8
+  br out
+out:
+  tmend
+  ret r4
+}
+";
+
+fn main() {
+    println!("== paper §6: tm_mark + tm_optimize on a classical TM kernel ==");
+
+    let plain = parse_function(KERNEL).expect("kernel parses");
+    println!("\n--- GIMPLE-like input (what _transaction_atomic lowers to) ---\n{plain}");
+
+    let mut passed = plain.clone();
+    let report = run_tm_passes(&mut passed);
+    println!("--- after tm_mark + tm_optimize ---\n{passed}");
+    println!(
+        "pass report: {} cmp(s) -> _ITM_S1R, {} -> _ITM_S2R, {} store(s) -> _ITM_SW, \
+         {} dead TM load(s) removed, {} dead ALU op(s) removed",
+        report.s1r, report.s2r, report.sw, report.loads_removed, report.pure_removed
+    );
+    println!(
+        "barrier count: {} -> {} (the paper's 2->1 TM-call reduction)\n",
+        plain.barrier_count(),
+        passed.barrier_count()
+    );
+
+    // Execute both versions and show identical behaviour with fewer
+    // runtime dispatches.
+    for (label, func) in [("unmodified", &plain), ("modified-GCC", &passed)] {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(64));
+        let account = stm.alloc_cell(100i64);
+        let fees = stm.alloc_cell(0i64);
+        let interp = Interp::new(&stm);
+        for amount in [30, 30, 30, 30] {
+            // the 4th withdrawal is not covered
+            interp
+                .execute(func, &[account.index() as i64, fees.index() as i64, amount])
+                .expect("kernel runs");
+        }
+        println!(
+            "{label:13}  account {:3}  fees {}  TM dispatches {:2}  (same result, fewer calls)",
+            stm.read_now(account),
+            stm.read_now(fees),
+            interp.counters.tm_calls(),
+        );
+        assert_eq!(stm.read_now(account), 10);
+        assert_eq!(stm.read_now(fees), 3);
+    }
+}

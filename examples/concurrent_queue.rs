@@ -1,0 +1,80 @@
+//! The paper's Algorithm-3 queue: why `TM_EQ(head, tail)` + `TM_INC`
+//! lets enqueuers and dequeuers run concurrently.
+//!
+//! ```text
+//! cargo run --release --example concurrent_queue
+//! ```
+//!
+//! Runs a producer/consumer pipeline over the transactional array queue
+//! under NOrec and S-NOrec and compares abort rates: under the classical
+//! API every enqueue (which moves `tail`) invalidates every in-flight
+//! dequeue (which read `tail` for the emptiness check); under the
+//! semantic API the dequeue only recorded "head != tail", which the
+//! enqueue does not falsify.
+
+use semtm::workloads::queue::TQueue;
+use semtm::{Algorithm, Stm, StmConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn main() {
+    println!("== Algorithm 3: array queue, enqueue/dequeue concurrency ==\n");
+    for alg in [Algorithm::NOrec, Algorithm::SNOrec, Algorithm::Tl2, Algorithm::STl2] {
+        let stm = Stm::new(StmConfig::new(alg).heap_words(1 << 10));
+        let q = TQueue::new(&stm, 1024);
+        // Keep the queue comfortably non-empty so the semantic win (the
+        // emptiness check) is what gets exercised.
+        for i in 0..512 {
+            stm.atomic(|tx| q.enqueue(tx, i));
+        }
+
+        let stop = AtomicBool::new(false);
+        let produced = AtomicU64::new(0);
+        let consumed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let stm = &stm;
+                let q = &q;
+                let stop = &stop;
+                let produced = &produced;
+                s.spawn(move || {
+                    let mut i = 1_000_000i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if stm.atomic(|tx| q.enqueue(tx, i)) {
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            i += 1;
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let stm = &stm;
+                let q = &q;
+                let stop = &stop;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if stm.atomic(|tx| q.dequeue(tx)).is_some() {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        q.verify(&stm).expect("queue integrity");
+        let st = stm.stats();
+        println!(
+            "{:8}  ops {:7}  aborts {:6} ({:4.1}%)",
+            alg.name(),
+            produced.load(Ordering::Relaxed) + consumed.load(Ordering::Relaxed),
+            st.conflict_aborts(),
+            st.abort_pct(),
+        );
+    }
+    println!(
+        "\nThe semantic algorithms keep the emptiness check as a relation\n\
+         (head != tail), so enqueues no longer abort concurrent dequeues."
+    );
+}

@@ -1,0 +1,80 @@
+//! STAMP Labyrinth in miniature: route wire pairs through a shared 3-D
+//! grid, comparing the paper's two transaction shapes ("Labyrinth 1"
+//! with the grid copy inside the transaction, "Labyrinth 2" with it
+//! hoisted out) and printing an ASCII rendering of layer 0.
+//!
+//! ```text
+//! cargo run --release --example maze_router
+//! ```
+
+use semtm::workloads::stamp::labyrinth::{Labyrinth, LabyrinthConfig, Variant, EMPTY, WALL};
+use semtm::{Algorithm, Stm, StmConfig};
+use std::sync::Mutex;
+
+fn main() {
+    println!("== STAMP Labyrinth: transactional maze routing ==\n");
+    for (name, variant) in [
+        ("Labyrinth 1 (copy inside tx) ", Variant::CopyInsideTx),
+        ("Labyrinth 2 (copy outside tx)", Variant::CopyOutsideTx),
+    ] {
+        for alg in [Algorithm::Tl2, Algorithm::STl2] {
+            let stm = Stm::new(StmConfig::new(alg).heap_words(1 << 14));
+            let cfg = LabyrinthConfig {
+                x: 20,
+                y: 12,
+                z: 2,
+                pairs: 10,
+                wall_pct: 12,
+                variant,
+            };
+            let maze = Labyrinth::new(&stm, cfg, 2026);
+            let routed = Mutex::new(Vec::new());
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..2usize {
+                    let stm = &stm;
+                    let maze = &maze;
+                    let routed = &routed;
+                    s.spawn(move || {
+                        let mut i = t;
+                        while i < cfg.pairs {
+                            if let Some(path) = maze.route(stm, i, i as i64 + 1) {
+                                routed.lock().unwrap().push((i as i64 + 1, path));
+                            }
+                            i += 2;
+                        }
+                    });
+                }
+            });
+            let routed = routed.into_inner().unwrap();
+            maze.verify(&stm, &routed).expect("no overlapping paths");
+            let st = stm.stats();
+            println!(
+                "{name} {:6}: {:2}/{} routed in {:6.1} ms, aborts {:5} ({:4.1}%)",
+                alg.name(),
+                routed.len(),
+                cfg.pairs,
+                start.elapsed().as_secs_f64() * 1000.0,
+                st.conflict_aborts(),
+                st.abort_pct(),
+            );
+
+            // ASCII view of layer 0 for the last configuration.
+            if variant == Variant::CopyOutsideTx && alg == Algorithm::STl2 {
+                println!("\nlayer 0 ('#' wall, '.' empty, letters are paths):");
+                for y in 0..cfg.y {
+                    let mut line = String::new();
+                    for x in 0..cfg.x {
+                        let v = maze.cell_now(&stm, y * cfg.x + x);
+                        line.push(match v {
+                            WALL => '#',
+                            EMPTY => '.',
+                            id => (b'a' + ((id - 1) % 26) as u8) as char,
+                        });
+                    }
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+}

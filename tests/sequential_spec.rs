@@ -1,0 +1,225 @@
+//! Property-based check of the paper's §5 sequential specification.
+//!
+//! The paper defines registers with four operations (`read`, `write`,
+//! `inc`, `cmp`) and their sequential specification: every `read`
+//! returns the latest write plus the interleaving increments, and every
+//! `cmp` returns the relation applied to that same value. Single-
+//! threaded, every algorithm must be *exactly* this specification —
+//! proptest drives arbitrary operation sequences against a model.
+
+use proptest::prelude::*;
+use semtm::{Algorithm, CmpOp, Stm, StmConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read(usize),
+    Write(usize, i64),
+    Inc(usize, i64),
+    Cmp(usize, CmpOp, i64),
+    CmpAddr(usize, CmpOp, usize),
+}
+
+const REGISTERS: usize = 4;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let reg = 0..REGISTERS;
+    let val = -50i64..50;
+    let cmp_op = prop::sample::select(CmpOp::ALL.to_vec());
+    prop_oneof![
+        reg.clone().prop_map(Op::Read),
+        (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Write(r, v)),
+        (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Inc(r, v)),
+        (reg.clone(), cmp_op.clone(), val).prop_map(|(r, o, v)| Op::Cmp(r, o, v)),
+        (reg.clone(), cmp_op, reg).prop_map(|(a, o, b)| Op::CmpAddr(a, o, b)),
+    ]
+}
+
+/// The §5 sequential specification, directly.
+#[derive(Clone)]
+struct Model {
+    regs: [i64; REGISTERS],
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) -> i64 {
+        match *op {
+            Op::Read(r) => self.regs[r],
+            Op::Write(r, v) => {
+                self.regs[r] = v;
+                0
+            }
+            Op::Inc(r, d) => {
+                self.regs[r] = self.regs[r].wrapping_add(d);
+                0
+            }
+            Op::Cmp(r, o, v) => o.eval(self.regs[r], v) as i64,
+            Op::CmpAddr(a, o, b) => o.eval(self.regs[a], self.regs[b]) as i64,
+        }
+    }
+}
+
+fn check_sequential_spec(alg: Algorithm, init: [i64; REGISTERS], tx_sizes: &[usize], ops: &[Op]) {
+    let stm = Stm::new(StmConfig::new(alg).heap_words(256).orec_count(64));
+    let addrs: Vec<_> = init.iter().map(|&v| stm.alloc_cell(v)).collect();
+    let mut model = Model { regs: init };
+    let mut cursor = 0;
+    for &size in tx_sizes {
+        let chunk: Vec<Op> = ops[cursor..(cursor + size).min(ops.len())].to_vec();
+        cursor += chunk.len();
+        if chunk.is_empty() {
+            break;
+        }
+        // The whole chunk runs as one transaction; outcomes must match
+        // the model applied to the same chunk.
+        let expected: Vec<i64> = {
+            let mut m = model.clone();
+            chunk.iter().map(|op| m.apply(op)).collect()
+        };
+        let got: Vec<i64> = stm.atomic(|tx| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for op in &chunk {
+                out.push(match *op {
+                    Op::Read(r) => tx.read(addrs[r])?,
+                    Op::Write(r, v) => {
+                        tx.write(addrs[r], v)?;
+                        0
+                    }
+                    Op::Inc(r, d) => {
+                        tx.inc(addrs[r], d)?;
+                        0
+                    }
+                    Op::Cmp(r, o, v) => tx.cmp(addrs[r], o, v)? as i64,
+                    Op::CmpAddr(a, o, b) => tx.cmp_addr(addrs[a], o, addrs[b])? as i64,
+                });
+            }
+            Ok(out)
+        });
+        assert_eq!(got, expected, "{alg}: in-transaction outcomes diverge");
+        for op in &chunk {
+            model.apply(op);
+        }
+        // Committed memory must equal the model between transactions.
+        for (r, addr) in addrs.iter().enumerate() {
+            assert_eq!(
+                stm.read_now(*addr),
+                model.regs[r],
+                "{alg}: committed register {r} diverges"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snorec_matches_sequential_spec(
+        init in prop::array::uniform4(-20i64..20),
+        tx_sizes in prop::collection::vec(1usize..8, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        check_sequential_spec(Algorithm::SNOrec, init, &tx_sizes, &ops);
+    }
+
+    #[test]
+    fn stl2_matches_sequential_spec(
+        init in prop::array::uniform4(-20i64..20),
+        tx_sizes in prop::collection::vec(1usize..8, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        check_sequential_spec(Algorithm::STl2, init, &tx_sizes, &ops);
+    }
+
+    #[test]
+    fn norec_matches_sequential_spec(
+        init in prop::array::uniform4(-20i64..20),
+        tx_sizes in prop::collection::vec(1usize..8, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        check_sequential_spec(Algorithm::NOrec, init, &tx_sizes, &ops);
+    }
+
+    #[test]
+    fn tl2_matches_sequential_spec(
+        init in prop::array::uniform4(-20i64..20),
+        tx_sizes in prop::collection::vec(1usize..8, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        check_sequential_spec(Algorithm::Tl2, init, &tx_sizes, &ops);
+    }
+
+    /// The RingSTM-filter fast path (extension A4) must be observation-
+    /// equivalent to plain S-NOrec on arbitrary histories.
+    #[test]
+    fn ring_filters_match_sequential_spec(
+        init in prop::array::uniform4(-20i64..20),
+        tx_sizes in prop::collection::vec(1usize..8, 1..6),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        // Same checker, but the Stm is built with filters on.
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(256)
+                .orec_count(64)
+                .norec_ring_filters(true),
+        );
+        let addrs: Vec<_> = init.iter().map(|&v| stm.alloc_cell(v)).collect();
+        let mut model = init;
+        let mut cursor = 0;
+        for &size in &tx_sizes {
+            let chunk: Vec<Op> = ops[cursor..(cursor + size).min(ops.len())].to_vec();
+            cursor += chunk.len();
+            if chunk.is_empty() { break; }
+            stm.atomic(|tx| {
+                for op in &chunk {
+                    match *op {
+                        Op::Read(r) => { tx.read(addrs[r])?; }
+                        Op::Write(r, v) => tx.write(addrs[r], v)?,
+                        Op::Inc(r, d) => tx.inc(addrs[r], d)?,
+                        Op::Cmp(r, o, v) => { tx.cmp(addrs[r], o, v)?; }
+                        Op::CmpAddr(a, o, b) => { tx.cmp_addr(addrs[a], o, addrs[b])?; }
+                    }
+                }
+                Ok(())
+            });
+            for op in &chunk {
+                let mut m = Model { regs: model };
+                m.apply(op);
+                model = m.regs;
+            }
+            for (r, addr) in addrs.iter().enumerate() {
+                prop_assert_eq!(stm.read_now(*addr), model[r], "register {}", r);
+            }
+        }
+    }
+
+    /// All four algorithms agree with each other on arbitrary single-
+    /// threaded histories (they implement the same abstraction).
+    #[test]
+    fn algorithms_agree_pairwise(
+        init in prop::array::uniform4(-20i64..20),
+        ops in prop::collection::vec(op_strategy(), 1..30),
+    ) {
+        let mut finals: Vec<Vec<i64>> = Vec::new();
+        for alg in Algorithm::ALL {
+            let stm = Stm::new(StmConfig::new(alg).heap_words(256).orec_count(64));
+            let addrs: Vec<_> = init.iter().map(|&v| stm.alloc_cell(v)).collect();
+            stm.atomic(|tx| {
+                for op in &ops {
+                    match *op {
+                        Op::Read(r) => { tx.read(addrs[r])?; }
+                        Op::Write(r, v) => tx.write(addrs[r], v)?,
+                        Op::Inc(r, d) => tx.inc(addrs[r], d)?,
+                        Op::Cmp(r, o, v) => { tx.cmp(addrs[r], o, v)?; }
+                        Op::CmpAddr(a, o, b) => { tx.cmp_addr(addrs[a], o, addrs[b])?; }
+                    }
+                }
+                Ok(())
+            });
+            finals.push(addrs.iter().map(|a| stm.read_now(*a)).collect());
+        }
+        for pair in finals.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+}
