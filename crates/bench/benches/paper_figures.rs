@@ -34,10 +34,22 @@ fn main() {
             exp::fig1_labyrinth(&sweep, Variant::CopyOutsideTx),
         ),
         ("Figures 1o/1p — Yada", exp::fig1_yada(&sweep)),
-        ("Ablation A1 — S-TL2 snapshot extension", exp::ablation_stl2_extension(&sweep)),
-        ("Ablation A2 — S-NOrec read-set dedup", exp::ablation_snorec_dedup(&sweep)),
-        ("Ablation A3 — contention managers", exp::ablation_cm_policy(&sweep)),
-        ("Ablation A4 — RingSTM commit filters", exp::ablation_ring_filters(&sweep)),
+        (
+            "Ablation A1 — S-TL2 snapshot extension",
+            exp::ablation_stl2_extension(&sweep),
+        ),
+        (
+            "Ablation A2 — S-NOrec read-set dedup",
+            exp::ablation_snorec_dedup(&sweep),
+        ),
+        (
+            "Ablation A3 — contention managers",
+            exp::ablation_cm_policy(&sweep),
+        ),
+        (
+            "Ablation A4 — RingSTM commit filters",
+            exp::ablation_ring_filters(&sweep),
+        ),
     ];
     for (title, rows) in sections {
         println!("{}", markdown_table(title, &rows));
@@ -47,10 +59,16 @@ fn main() {
     }
 
     let rows = fig2::fig2_hashtable(&sweep.threads, Duration::from_millis(80), 7, sweep.seed);
-    println!("{}", markdown_table("Figures 2a/2b — Hashtable (GCC path)", &rows));
+    println!(
+        "{}",
+        markdown_table("Figures 2a/2b — Hashtable (GCC path)", &rows)
+    );
     print!("{}", speedup_summary(&rows, "NOrec", "S-NOrec"));
     let rows = fig2::fig2_vacation(&sweep.threads, 32, 400, sweep.seed);
-    println!("{}", markdown_table("Figures 2c/2d — Vacation (GCC path)", &rows));
+    println!(
+        "{}",
+        markdown_table("Figures 2c/2d — Vacation (GCC path)", &rows)
+    );
     print!("{}", speedup_summary(&rows, "NOrec", "S-NOrec"));
     println!("\nsmoke figures done.");
 }

@@ -10,7 +10,7 @@
 //! semantic-vs-base speedup digest, and writes CSVs under `results/`.
 
 use semtm_bench::experiments as exp;
-use semtm_bench::report::{markdown_table, speedup_summary, write_csv};
+use semtm_bench::report::{markdown_table, speedup_summary, write_csv, write_results_file};
 use semtm_bench::{fig2, table3, Scale, Sweep};
 use semtm_workloads::stamp::labyrinth::Variant;
 use std::time::Duration;
@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-cm",
     "ablation-ring",
     "contention",
+    "telemetry",
 ];
 
 fn main() {
@@ -51,7 +52,10 @@ fn main() {
     let sweep = Sweep::new(scale);
     let pick = |name: &str| run_all || selected.contains(&name);
 
-    println!("# semtm figure harness (scale: {scale:?}, threads: {:?})", sweep.threads);
+    println!(
+        "# semtm figure harness (scale: {scale:?}, threads: {:?})",
+        sweep.threads
+    );
 
     if pick("table3") {
         let rows = table3::table3(smoke);
@@ -61,19 +65,17 @@ fn main() {
         println!("wrote results/table3.csv");
     }
 
-    let emit = |name: &str,
-                    title: &str,
-                    rows: Vec<semtm_bench::FigureRow>,
-                    pairs: &[(&str, &str)]| {
-        println!("{}", markdown_table(title, &rows));
-        for (base, sem) in pairs {
-            print!("{}", speedup_summary(&rows, base, sem));
-        }
-        match write_csv(name, &rows) {
-            Ok(p) => println!("wrote {}", p.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
-    };
+    let emit =
+        |name: &str, title: &str, rows: Vec<semtm_bench::FigureRow>, pairs: &[(&str, &str)]| {
+            println!("{}", markdown_table(title, &rows));
+            for (base, sem) in pairs {
+                print!("{}", speedup_summary(&rows, base, sem));
+            }
+            match write_csv(name, &rows) {
+                Ok(p) => println!("wrote {}", p.display()),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        };
 
     let stm_pairs: &[(&str, &str)] = &[("NOrec", "S-NOrec"), ("TL2", "S-TL2")];
 
@@ -141,10 +143,7 @@ fn main() {
             stm_pairs,
         );
     }
-    let gcc_pairs: &[(&str, &str)] = &[
-        ("NOrec", "NOrec Modified-GCC"),
-        ("NOrec", "S-NOrec"),
-    ];
+    let gcc_pairs: &[(&str, &str)] = &[("NOrec", "NOrec Modified-GCC"), ("NOrec", "S-NOrec")];
     if pick("fig2-hashtable") {
         let (cap, dur) = if smoke {
             (7, Duration::from_millis(80))
@@ -198,6 +197,36 @@ fn main() {
             exp::ablation_ring_filters(&sweep),
             &[("S-NOrec", "S-NOrec/ring-filters")],
         );
+    }
+    if pick("telemetry") {
+        let report = exp::telemetry_bank(&sweep);
+        println!(
+            "\n### Telemetry — Bank deep-dive ({} threads)\n",
+            report.threads
+        );
+        println!("| algorithm | ktps | abort % | p50 ns | p90 ns | p99 ns | attempts p99 | wasted work |");
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+        for a in &report.algorithms {
+            println!(
+                "| {} | {:.1} | {:.1} | {} | {} | {} | {} | {:.3} |",
+                a.algorithm,
+                a.throughput_ktps,
+                a.stats.abort_pct(),
+                a.commit_latency_ns.p50(),
+                a.commit_latency_ns.p90(),
+                a.commit_latency_ns.p99(),
+                a.attempts_per_commit.p99(),
+                a.stats.wasted_work_ratio(),
+            );
+        }
+        match write_results_file("telemetry_bank.json", &report.to_json().render()) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("json write failed: {e}"),
+        }
+        match write_results_file("telemetry_bank_series.csv", &report.series_csv()) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
     }
     if pick("ablation-snorec") {
         emit(

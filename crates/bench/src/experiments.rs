@@ -2,8 +2,8 @@
 //! of §7.1 — micro-benchmarks and STAMP applications under NOrec,
 //! S-NOrec, TL2 and S-TL2.
 
-use crate::report::FigureRow;
-use semtm_core::{Algorithm, CmPolicy, Stm, StmConfig};
+use crate::report::{AlgorithmTelemetry, FigureRow, TelemetryReport};
+use semtm_core::{Algorithm, CmPolicy, Stm, StmConfig, TelemetryLevel};
 use semtm_workloads::driver::RunResult;
 use semtm_workloads::stamp::{kmeans, labyrinth, vacation, yada};
 use semtm_workloads::{bank, hashtable, lru};
@@ -62,7 +62,11 @@ impl Sweep {
 }
 
 fn stm_for(alg: Algorithm, heap_words: usize) -> Stm {
-    Stm::new(StmConfig::new(alg).heap_words(heap_words).orec_count(1 << 14))
+    Stm::new(
+        StmConfig::new(alg)
+            .heap_words(heap_words)
+            .orec_count(1 << 14),
+    )
 }
 
 fn row(
@@ -97,7 +101,14 @@ pub fn fig1_hashtable(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 16);
             let r = hashtable::run(&stm, cfg, t, sweep.duration, sweep.seed);
-            rows.push(row("1a/1b", "hashtable", alg, "throughput_ktps", r.throughput_ktps(), &r));
+            rows.push(row(
+                "1a/1b",
+                "hashtable",
+                alg,
+                "throughput_ktps",
+                r.throughput_ktps(),
+                &r,
+            ));
         }
     }
     rows
@@ -114,7 +125,14 @@ pub fn fig1_bank(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 12);
             let r = bank::run(&stm, cfg, t, sweep.duration, sweep.seed);
-            rows.push(row("1c/1d", "bank", alg, "throughput_ktps", r.throughput_ktps(), &r));
+            rows.push(row(
+                "1c/1d",
+                "bank",
+                alg,
+                "throughput_ktps",
+                r.throughput_ktps(),
+                &r,
+            ));
         }
     }
     rows
@@ -131,7 +149,14 @@ pub fn fig1_lru(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 16);
             let r = lru::run(&stm, cfg, t, sweep.duration, sweep.seed);
-            rows.push(row("1e/1f", "lru", alg, "throughput_ktps", r.throughput_ktps(), &r));
+            rows.push(row(
+                "1e/1f",
+                "lru",
+                alg,
+                "throughput_ktps",
+                r.throughput_ktps(),
+                &r,
+            ));
         }
     }
     rows
@@ -151,7 +176,14 @@ pub fn fig1_kmeans(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 14);
             let r = kmeans::run(&stm, cfg, t, sweep.seed);
-            rows.push(row("1g/1h", "kmeans", alg, "time_s", r.elapsed.as_secs_f64(), &r));
+            rows.push(row(
+                "1g/1h",
+                "kmeans",
+                alg,
+                "time_s",
+                r.elapsed.as_secs_f64(),
+                &r,
+            ));
         }
     }
     rows
@@ -169,7 +201,14 @@ pub fn fig1_vacation(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 22);
             let r = vacation::run(&stm, cfg, t, sessions, sweep.seed);
-            rows.push(row("1i/1j", "vacation", alg, "time_s", r.elapsed.as_secs_f64(), &r));
+            rows.push(row(
+                "1i/1j",
+                "vacation",
+                alg,
+                "time_s",
+                r.elapsed.as_secs_f64(),
+                &r,
+            ));
         }
     }
     rows
@@ -194,7 +233,14 @@ pub fn fig1_labyrinth(sweep: &Sweep, variant: labyrinth::Variant) -> Vec<FigureR
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 14);
             let r = labyrinth::run(&stm, cfg, t, sweep.seed);
-            rows.push(row(figure, benchmark, alg, "time_s", r.elapsed.as_secs_f64(), &r));
+            rows.push(row(
+                figure,
+                benchmark,
+                alg,
+                "time_s",
+                r.elapsed.as_secs_f64(),
+                &r,
+            ));
         }
     }
     rows
@@ -211,7 +257,14 @@ pub fn fig1_yada(sweep: &Sweep) -> Vec<FigureRow> {
         for &t in &sweep.threads {
             let stm = stm_for(alg, 1 << 22);
             let r = yada::run(&stm, cfg, t, sweep.seed);
-            rows.push(row("1o/1p", "yada", alg, "time_s", r.elapsed.as_secs_f64(), &r));
+            rows.push(row(
+                "1o/1p",
+                "yada",
+                alg,
+                "time_s",
+                r.elapsed.as_secs_f64(),
+                &r,
+            ));
         }
     }
     rows
@@ -388,6 +441,54 @@ pub fn ablation_cm_policy(sweep: &Sweep) -> Vec<FigureRow> {
     rows
 }
 
+/// Telemetry deep-dive on the Bank workload: one fully-instrumented run
+/// per algorithm at the sweep's highest thread count, with
+/// [`TelemetryLevel::Trace`] enabled. Produces the JSON report of
+/// EXPERIMENTS.md §Telemetry — commit-latency quantiles,
+/// attempts-per-commit histogram, abort-reason breakdown, abort-event
+/// trace, and a throughput/abort-rate time series.
+pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
+    let cfg = bank::BankConfig {
+        accounts: sweep.pick(32, 64),
+        ..bank::BankConfig::default()
+    };
+    let threads = sweep.threads.iter().copied().max().unwrap_or(1);
+    // Sample ~20 points across the interval, but never finer than 5 ms.
+    let sample_every = (sweep.duration / 20).max(Duration::from_millis(5));
+    let mut algorithms = Vec::new();
+    for alg in Algorithm::ALL {
+        let stm = Stm::new(
+            StmConfig::new(alg)
+                .heap_words(1 << 12)
+                .orec_count(1 << 14)
+                .telemetry(TelemetryLevel::Trace)
+                .trace_capacity(sweep.pick(64, 256)),
+        );
+        let (r, series) =
+            bank::run_sampled(&stm, cfg, threads, sweep.duration, sample_every, sweep.seed);
+        let t = stm.telemetry();
+        algorithms.push(AlgorithmTelemetry {
+            algorithm: alg.name().to_string(),
+            throughput_ktps: r.throughput_ktps(),
+            stats: r.stats,
+            commit_latency_ns: t.commit_latency_ns(),
+            attempts_per_commit: t.attempts_per_commit(),
+            commit_read_set: t.commit_read_set(),
+            commit_compare_set: t.commit_compare_set(),
+            backoff_spins: t.backoff_spins(),
+            trace: t.trace_events(),
+            trace_evicted: t.trace_evicted(),
+            series,
+        });
+    }
+    TelemetryReport {
+        benchmark: "bank".to_string(),
+        threads,
+        duration_secs: sweep.duration.as_secs_f64(),
+        algorithms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +538,47 @@ mod tests {
         let rows = ablation_cm_policy(&tiny());
         assert_eq!(rows.len(), CmPolicy::ALL.len());
         assert!(rows.iter().all(|r| r.commits > 0));
+    }
+
+    #[test]
+    fn telemetry_bank_report_is_complete_and_consistent() {
+        let report = telemetry_bank(&tiny());
+        assert_eq!(report.benchmark, "bank");
+        assert_eq!(report.algorithms.len(), Algorithm::ALL.len());
+        for a in &report.algorithms {
+            assert!(a.stats.commits > 0, "{}", a.algorithm);
+            // Every committed transaction has a latency and an attempts count.
+            assert_eq!(
+                a.commit_latency_ns.count(),
+                a.stats.commits,
+                "{}",
+                a.algorithm
+            );
+            assert_eq!(
+                a.attempts_per_commit.count(),
+                a.stats.commits,
+                "{}",
+                a.algorithm
+            );
+            assert_eq!(
+                a.attempts_per_commit.sum(),
+                a.stats.attempts(),
+                "{}: attempts histogram must account for every attempt",
+                a.algorithm
+            );
+            // The time series sums to the run totals.
+            let commits: u64 = a.series.iter().map(|p| p.commits).sum();
+            assert_eq!(commits, a.stats.commits, "{}", a.algorithm);
+            // Trace holds one event per (retained) abort.
+            assert_eq!(
+                a.trace.len() as u64 + a.trace_evicted,
+                a.stats.total_aborts(),
+                "{}",
+                a.algorithm
+            );
+        }
+        let json = report.to_json().render();
+        assert!(json.contains("\"commit_latency_ns\""));
+        assert!(json.contains("\"abort_breakdown\""));
     }
 }

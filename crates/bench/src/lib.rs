@@ -19,4 +19,4 @@ pub mod report;
 pub mod table3;
 
 pub use experiments::{Scale, Sweep};
-pub use report::FigureRow;
+pub use report::{AlgorithmTelemetry, FigureRow, Json, TelemetryReport};

@@ -1,4 +1,291 @@
-//! Result rows and markdown/CSV emission.
+//! Result rows and markdown/CSV/JSON emission.
+//!
+//! The JSON layer is hand-rolled: the workspace builds offline with no
+//! registry dependencies, so there is no serde. [`Json`] is a tiny value
+//! tree with an escaping pretty-printer — enough for the telemetry
+//! report schema documented in EXPERIMENTS.md.
+
+use semtm_core::{AbortEvent, HistogramSnapshot, SamplePoint, StatsSnapshot};
+
+/// A JSON value for the hand-rolled writer.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (most counters).
+    UInt(u64),
+    /// Floating point; non-finite values serialize as `null`.
+    Float(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest round-trippable form,
+                    // but bare integers ("3") are still valid JSON numbers.
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serialize a histogram snapshot: summary quantiles plus the non-empty
+/// buckets as `(lower_bound, count)` pairs.
+pub fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::Object(vec![
+        ("count", Json::UInt(h.count())),
+        ("sum", Json::UInt(h.sum())),
+        ("max", Json::UInt(h.max())),
+        ("mean", Json::Float(h.mean())),
+        ("p50", Json::UInt(h.p50())),
+        ("p90", Json::UInt(h.p90())),
+        ("p99", Json::UInt(h.p99())),
+        (
+            "buckets",
+            Json::Array(
+                h.nonzero_buckets()
+                    .map(|(lower, count)| {
+                        Json::Object(vec![
+                            ("lower_bound", Json::UInt(lower)),
+                            ("count", Json::UInt(count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn abort_breakdown_json(s: &StatsSnapshot) -> Json {
+    Json::Object(vec![
+        ("validation", Json::UInt(s.aborts_validation)),
+        ("locked", Json::UInt(s.aborts_locked)),
+        ("timeout", Json::UInt(s.aborts_timeout)),
+        ("lock_acquire", Json::UInt(s.aborts_lock_acquire)),
+        ("explicit", Json::UInt(s.aborts_explicit)),
+    ])
+}
+
+fn sample_point_json(p: &SamplePoint) -> Json {
+    Json::Object(vec![
+        ("t_secs", Json::Float(p.t_secs)),
+        ("dt_secs", Json::Float(p.dt_secs)),
+        ("commits", Json::UInt(p.commits)),
+        ("conflict_aborts", Json::UInt(p.conflict_aborts)),
+        ("throughput_tps", Json::Float(p.throughput)),
+        ("abort_pct", Json::Float(p.abort_pct)),
+    ])
+}
+
+fn abort_event_json(e: &AbortEvent) -> Json {
+    Json::Object(vec![
+        ("timestamp_ns", Json::UInt(e.timestamp_ns)),
+        ("reason", Json::Str(e.reason.name().to_string())),
+        ("attempt", Json::UInt(e.attempt as u64)),
+        ("read_set", Json::UInt(e.read_set as u64)),
+        ("compare_set", Json::UInt(e.compare_set as u64)),
+    ])
+}
+
+/// Per-algorithm telemetry captured by one instrumented run.
+#[derive(Clone, Debug)]
+pub struct AlgorithmTelemetry {
+    /// Algorithm legend name (`NOrec`, `S-NOrec`, ...).
+    pub algorithm: String,
+    /// Throughput over the measured interval, kTx/s.
+    pub throughput_ktps: f64,
+    /// Interval statistics delta.
+    pub stats: StatsSnapshot,
+    /// Commit latency (ns per successful `atomic` call).
+    pub commit_latency_ns: HistogramSnapshot,
+    /// Attempts needed per committed transaction.
+    pub attempts_per_commit: HistogramSnapshot,
+    /// Read-set size at commit.
+    pub commit_read_set: HistogramSnapshot,
+    /// Compare-set size at commit.
+    pub commit_compare_set: HistogramSnapshot,
+    /// Contention-manager backoff spins per abort.
+    pub backoff_spins: HistogramSnapshot,
+    /// Most recent abort events (bounded by the trace ring).
+    pub trace: Vec<AbortEvent>,
+    /// Abort events evicted from the trace ring.
+    pub trace_evicted: u64,
+    /// Throughput/abort-rate time series over the interval.
+    pub series: Vec<SamplePoint>,
+}
+
+/// A full telemetry report for one workload across algorithms.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// Workload name (e.g. `bank`).
+    pub benchmark: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured interval per algorithm, seconds.
+    pub duration_secs: f64,
+    /// One entry per algorithm.
+    pub algorithms: Vec<AlgorithmTelemetry>,
+}
+
+impl TelemetryReport {
+    /// Build the JSON tree for this report (schema in EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        let algorithms = self
+            .algorithms
+            .iter()
+            .map(|a| {
+                let s = &a.stats;
+                Json::Object(vec![
+                    ("algorithm", Json::Str(a.algorithm.clone())),
+                    ("throughput_ktps", Json::Float(a.throughput_ktps)),
+                    ("commits", Json::UInt(s.commits)),
+                    ("aborts", Json::UInt(s.total_aborts())),
+                    ("attempts", Json::UInt(s.attempts())),
+                    ("abort_pct", Json::Float(s.abort_pct())),
+                    ("abort_breakdown", abort_breakdown_json(s)),
+                    ("wasted_work_ratio", Json::Float(s.wasted_work_ratio())),
+                    ("commit_latency_ns", histogram_json(&a.commit_latency_ns)),
+                    (
+                        "attempts_per_commit",
+                        histogram_json(&a.attempts_per_commit),
+                    ),
+                    ("commit_read_set", histogram_json(&a.commit_read_set)),
+                    ("commit_compare_set", histogram_json(&a.commit_compare_set)),
+                    ("backoff_spins", histogram_json(&a.backoff_spins)),
+                    ("trace_evicted", Json::UInt(a.trace_evicted)),
+                    (
+                        "trace",
+                        Json::Array(a.trace.iter().map(abort_event_json).collect()),
+                    ),
+                    (
+                        "series",
+                        Json::Array(a.series.iter().map(sample_point_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("benchmark", Json::Str(self.benchmark.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("duration_secs", Json::Float(self.duration_secs)),
+            ("algorithms", Json::Array(algorithms)),
+        ])
+    }
+
+    /// CSV flattening of the time series: one line per (algorithm, sample).
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from(
+            "benchmark,algorithm,threads,t_secs,dt_secs,commits,conflict_aborts,throughput_tps,abort_pct\n",
+        );
+        for a in &self.algorithms {
+            for p in &a.series {
+                out.push_str(&format!(
+                    "{},{},{},{:.4},{:.4},{},{},{:.1},{:.2}\n",
+                    self.benchmark,
+                    a.algorithm,
+                    self.threads,
+                    p.t_secs,
+                    p.dt_secs,
+                    p.commits,
+                    p.conflict_aborts,
+                    p.throughput,
+                    p.abort_pct
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Write `body` to `results/<name>`, creating the directory if needed.
+/// Returns the path written.
+pub fn write_results_file(name: &str, body: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
 
 /// One data point of one sub-figure series.
 #[derive(Clone, Debug)]
@@ -153,6 +440,90 @@ mod tests {
         let rows = vec![row("NOrec", 2, 10.0, 50.0), row("S-NOrec", 2, 25.0, 5.0)];
         let s = speedup_summary(&rows, "NOrec", "S-NOrec");
         assert!(s.contains("2.50x"), "{s}");
+    }
+
+    #[test]
+    fn json_writer_escapes_and_nests() {
+        let v = Json::Object(vec![
+            (
+                "name",
+                Json::Str("quote \" backslash \\ tab \t".to_string()),
+            ),
+            ("n", Json::UInt(42)),
+            ("x", Json::Float(1.5)),
+            ("inf", Json::Float(f64::INFINITY)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("arr", Json::Array(vec![Json::UInt(1), Json::UInt(2)])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\\\""), "{s}");
+        assert!(s.contains("\\\\"), "{s}");
+        assert!(s.contains("\\t"), "{s}");
+        assert!(s.contains("\"n\": 42"), "{s}");
+        assert!(s.contains("\"x\": 1.5"), "{s}");
+        assert!(
+            s.contains("\"inf\": null"),
+            "non-finite floats become null: {s}"
+        );
+        assert!(s.contains("\"empty\": []"), "{s}");
+        assert!(s.ends_with('\n'));
+        // Balanced braces/brackets (crude structural check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn telemetry_report_json_has_required_sections() {
+        use semtm_core::{Algorithm, Stm, StmConfig, TelemetryLevel};
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::STl2)
+                .heap_words(1 << 8)
+                .telemetry(TelemetryLevel::Trace),
+        );
+        let a = stm.alloc_cell(0i64);
+        for _ in 0..32 {
+            stm.atomic(|tx| tx.inc(a, 1));
+        }
+        let t = stm.telemetry();
+        let report = TelemetryReport {
+            benchmark: "bank".to_string(),
+            threads: 1,
+            duration_secs: 0.1,
+            algorithms: vec![AlgorithmTelemetry {
+                algorithm: "S-TL2".to_string(),
+                throughput_ktps: 320.0,
+                stats: stm.stats(),
+                commit_latency_ns: t.commit_latency_ns(),
+                attempts_per_commit: t.attempts_per_commit(),
+                commit_read_set: t.commit_read_set(),
+                commit_compare_set: t.commit_compare_set(),
+                backoff_spins: t.backoff_spins(),
+                trace: t.trace_events(),
+                trace_evicted: t.trace_evicted(),
+                series: vec![],
+            }],
+        };
+        let s = report.to_json().render();
+        for key in [
+            "\"benchmark\": \"bank\"",
+            "\"commit_latency_ns\"",
+            "\"attempts_per_commit\"",
+            "\"abort_breakdown\"",
+            "\"wasted_work_ratio\"",
+            "\"p50\"",
+            "\"p90\"",
+            "\"p99\"",
+            "\"series\"",
+            "\"trace\"",
+        ] {
+            assert!(s.contains(key), "missing {key} in:\n{s}");
+        }
+        // 32 single-threaded commits must all appear in the latency histogram.
+        assert!(s.contains("\"commits\": 32"), "{s}");
+        let csv = report.series_csv();
+        assert!(csv.starts_with("benchmark,algorithm,threads,t_secs"));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl ProfileRow {
 }
 
 fn stm(alg: Algorithm, heap_pow2: u32) -> Stm {
-    Stm::new(StmConfig::new(alg).heap_words(1 << heap_pow2).orec_count(1 << 12))
+    Stm::new(
+        StmConfig::new(alg)
+            .heap_words(1 << heap_pow2)
+            .orec_count(1 << 12),
+    )
 }
 
 /// Build the full Table 3 (10 workloads × 2 modes). `quick` shrinks the

@@ -70,13 +70,18 @@ impl ContentionManager {
     /// Pace before retry number `attempt` (0-based) after an abort for
     /// `reason`. Explicit (workload-logic) retries always just yield:
     /// spinning cannot make the awaited state change on this core.
-    pub fn pause(&mut self, attempt: u32, reason: AbortReason) {
+    ///
+    /// Returns the number of spin iterations executed (0 for pure
+    /// yields), which the telemetry layer feeds into the backoff
+    /// histogram — making time lost to pacing, not just time lost to
+    /// re-execution, observable.
+    pub fn pause(&mut self, attempt: u32, reason: AbortReason) -> u64 {
         if reason == AbortReason::Explicit {
             std::thread::yield_now();
-            return;
+            return 0;
         }
         match self.policy {
-            CmPolicy::Aggressive => {}
+            CmPolicy::Aggressive => 0,
             CmPolicy::Backoff => {
                 let ceiling = self
                     .min_spins
@@ -89,6 +94,7 @@ impl ContentionManager {
                 if attempt > 4 {
                     std::thread::yield_now();
                 }
+                spins
             }
             CmPolicy::Linear => {
                 let spins = (self.min_spins as u64)
@@ -100,8 +106,12 @@ impl ContentionManager {
                 if attempt > 16 {
                     std::thread::yield_now();
                 }
+                spins
             }
-            CmPolicy::Yield => std::thread::yield_now(),
+            CmPolicy::Yield => {
+                std::thread::yield_now();
+                0
+            }
         }
     }
 }
@@ -123,10 +133,27 @@ mod tests {
         for policy in CmPolicy::ALL {
             let mut cm = ContentionManager::new(policy, 7, 4, 64);
             for attempt in 0..40 {
-                cm.pause(attempt, AbortReason::Validation);
-                cm.pause(attempt, AbortReason::Explicit);
+                let spins = cm.pause(attempt, AbortReason::Validation);
+                assert!(
+                    spins <= 64 + 4,
+                    "{}: spins {spins} exceed bounds",
+                    policy.name()
+                );
+                assert_eq!(cm.pause(attempt, AbortReason::Explicit), 0);
             }
         }
+    }
+
+    #[test]
+    fn spinning_policies_report_spins() {
+        let mut cm = ContentionManager::new(CmPolicy::Backoff, 7, 4, 64);
+        assert!(cm.pause(3, AbortReason::Validation) >= 4);
+        let mut cm = ContentionManager::new(CmPolicy::Linear, 7, 4, 64);
+        assert_eq!(cm.pause(2, AbortReason::Validation), 12);
+        let mut cm = ContentionManager::new(CmPolicy::Aggressive, 7, 4, 64);
+        assert_eq!(cm.pause(2, AbortReason::Validation), 0);
+        let mut cm = ContentionManager::new(CmPolicy::Yield, 7, 4, 64);
+        assert_eq!(cm.pause(2, AbortReason::Validation), 0);
     }
 
     #[test]

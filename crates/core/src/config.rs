@@ -1,6 +1,7 @@
 //! Runtime configuration: algorithm selection and tuning knobs.
 
 use crate::cm::CmPolicy;
+use crate::telemetry::TelemetryLevel;
 
 /// Which STM algorithm a [`crate::Stm`] instance runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -94,6 +95,14 @@ pub struct StmConfig {
     /// "read after read" discussion). Default `false` — the paper appends
     /// duplicates, judging the dedup lookup cost not worth it.
     pub snorec_dedup_reads: bool,
+    /// How much the runtime records about itself. The default,
+    /// [`TelemetryLevel::Counters`], costs nothing beyond the counter
+    /// increments the runtime always did; higher levels add latency
+    /// histograms and the abort-event trace.
+    pub telemetry: TelemetryLevel,
+    /// Per-thread abort-trace ring capacity (newest events retained).
+    /// Only allocated at [`TelemetryLevel::Trace`].
+    pub trace_capacity: usize,
 }
 
 impl StmConfig {
@@ -111,6 +120,8 @@ impl StmConfig {
             norec_ring_filters: false,
             stl2_snapshot_extension: true,
             snorec_dedup_reads: false,
+            telemetry: TelemetryLevel::Counters,
+            trace_capacity: 1024,
         }
     }
 
@@ -155,6 +166,18 @@ impl StmConfig {
         self.snorec_dedup_reads = on;
         self
     }
+
+    /// Builder-style telemetry-level override.
+    pub fn telemetry(mut self, level: TelemetryLevel) -> StmConfig {
+        self.telemetry = level;
+        self
+    }
+
+    /// Builder-style abort-trace capacity override (per thread).
+    pub fn trace_capacity(mut self, events: usize) -> StmConfig {
+        self.trace_capacity = events;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -184,12 +207,16 @@ mod tests {
             .orec_count(32)
             .lock_wait_spins(7)
             .stl2_snapshot_extension(false)
-            .snorec_dedup_reads(true);
+            .snorec_dedup_reads(true)
+            .telemetry(TelemetryLevel::Trace)
+            .trace_capacity(64);
         assert_eq!(c.heap_words, 128);
         assert_eq!(c.orec_count, 32);
         assert_eq!(c.lock_wait_spins, 7);
         assert!(!c.stl2_snapshot_extension);
         assert!(c.snorec_dedup_reads);
         assert_eq!(c.cm_policy, CmPolicy::Yield);
+        assert_eq!(c.telemetry, TelemetryLevel::Trace);
+        assert_eq!(c.trace_capacity, 64);
     }
 }

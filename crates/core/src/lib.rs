@@ -68,6 +68,7 @@ pub mod ring;
 pub mod sets;
 pub mod stats;
 pub mod stm;
+pub mod telemetry;
 pub mod tl2;
 pub mod tvar;
 pub mod util;
@@ -80,5 +81,8 @@ pub use heap::{Addr, Heap};
 pub use ops::CmpOp;
 pub use stats::StatsSnapshot;
 pub use stm::{Stm, Tx};
+pub use telemetry::{
+    AbortEvent, HistogramSnapshot, SamplePoint, Sampler, Telemetry, TelemetryLevel,
+};
 pub use tvar::{TArray, TVar};
 pub use value::{Fx32, Word};

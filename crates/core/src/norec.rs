@@ -547,7 +547,8 @@ mod tests {
         t2.write(y, 9);
         t2.commit().unwrap();
         t1.write(y, 10);
-        t1.commit().expect("disjoint commit must not abort the reader");
+        t1.commit()
+            .expect("disjoint commit must not abort the reader");
         assert_eq!(heap.load(y), 10);
 
         // Overlapping commit: the filter hits, full validation runs, and

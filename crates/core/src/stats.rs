@@ -1,16 +1,16 @@
-//! Runtime statistics.
+//! Runtime statistics: per-transaction operation counters and the
+//! point-in-time [`StatsSnapshot`] every reporting layer consumes.
 //!
 //! Reproduces the measurement infrastructure behind the paper's Table 3
 //! ("average number of invocations per operation type per transaction")
 //! and the abort-rate series of Figures 1 and 2.
 //!
-//! Transactions accumulate operation counts locally; counts are flushed to
-//! the shared [`Stats`] only when the transaction **commits** (so the
-//! per-transaction averages are per *committed* transaction, as in the
-//! paper's Table 3). Aborts are counted per attempt, by reason.
-
-use crate::error::AbortReason;
-use std::sync::atomic::{AtomicU64, Ordering};
+//! Transactions accumulate operation counts locally in [`OpCounts`];
+//! counts are flushed into the sharded [`crate::telemetry::Telemetry`]
+//! cells when the attempt ends — into the committed counters on commit
+//! (so the per-transaction averages are per *committed* transaction, as
+//! in the paper's Table 3) and into the `aborted_*` counters on abort,
+//! which is what makes wasted work visible.
 
 /// Per-transaction operation counters, accumulated locally while the
 /// transaction runs.
@@ -36,71 +36,14 @@ impl OpCounts {
     pub fn clear(&mut self) {
         *self = OpCounts::default();
     }
-}
 
-/// Shared, thread-safe statistics for one [`crate::Stm`] instance.
-#[derive(Default)]
-pub struct Stats {
-    commits: AtomicU64,
-    aborts_validation: AtomicU64,
-    aborts_locked: AtomicU64,
-    aborts_timeout: AtomicU64,
-    aborts_lock_acquire: AtomicU64,
-    aborts_explicit: AtomicU64,
-    reads: AtomicU64,
-    writes: AtomicU64,
-    cmps: AtomicU64,
-    cmp_pairs: AtomicU64,
-    incs: AtomicU64,
-    promotes: AtomicU64,
-}
-
-impl Stats {
-    /// Record a committed transaction together with its operation counts.
-    pub fn record_commit(&self, ops: &OpCounts) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
-        self.reads.fetch_add(ops.reads, Ordering::Relaxed);
-        self.writes.fetch_add(ops.writes, Ordering::Relaxed);
-        self.cmps.fetch_add(ops.cmps, Ordering::Relaxed);
-        self.cmp_pairs.fetch_add(ops.cmp_pairs, Ordering::Relaxed);
-        self.incs.fetch_add(ops.incs, Ordering::Relaxed);
-        self.promotes.fetch_add(ops.promotes, Ordering::Relaxed);
-    }
-
-    /// Record an aborted attempt.
-    pub fn record_abort(&self, reason: AbortReason) {
-        let ctr = match reason {
-            AbortReason::Validation => &self.aborts_validation,
-            AbortReason::Locked => &self.aborts_locked,
-            AbortReason::Timeout => &self.aborts_timeout,
-            AbortReason::LockAcquire => &self.aborts_lock_acquire,
-            AbortReason::Explicit => &self.aborts_explicit,
-        };
-        ctr.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Take a consistent-enough snapshot (counters are independently
-    /// relaxed; exact cross-counter consistency is not needed for
-    /// reporting).
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
-            aborts_locked: self.aborts_locked.load(Ordering::Relaxed),
-            aborts_timeout: self.aborts_timeout.load(Ordering::Relaxed),
-            aborts_lock_acquire: self.aborts_lock_acquire.load(Ordering::Relaxed),
-            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            cmps: self.cmps.load(Ordering::Relaxed),
-            cmp_pairs: self.cmp_pairs.load(Ordering::Relaxed),
-            incs: self.incs.load(Ordering::Relaxed),
-            promotes: self.promotes.load(Ordering::Relaxed),
-        }
+    /// Sum over all operation kinds.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cmps + self.cmp_pairs + self.incs + self.promotes
     }
 }
 
-/// A point-in-time copy of [`Stats`], with derived metrics.
+/// A point-in-time copy of the runtime counters, with derived metrics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Committed transactions.
@@ -127,6 +70,18 @@ pub struct StatsSnapshot {
     pub incs: u64,
     /// Total promoted `inc` entries in committed transactions.
     pub promotes: u64,
+    /// `TM_READ` calls in attempts that aborted (wasted work).
+    pub aborted_reads: u64,
+    /// `TM_WRITE` calls in attempts that aborted.
+    pub aborted_writes: u64,
+    /// Address–value `cmp` calls in attempts that aborted.
+    pub aborted_cmps: u64,
+    /// Address–address `cmp` calls in attempts that aborted.
+    pub aborted_cmp_pairs: u64,
+    /// `inc` calls in attempts that aborted.
+    pub aborted_incs: u64,
+    /// Promoted `inc` entries in attempts that aborted.
+    pub aborted_promotes: u64,
 }
 
 impl StatsSnapshot {
@@ -137,6 +92,18 @@ impl StatsSnapshot {
         self.aborts_validation + self.aborts_locked + self.aborts_timeout + self.aborts_lock_acquire
     }
 
+    /// All aborts including explicit retries.
+    pub fn total_aborts(&self) -> u64 {
+        self.conflict_aborts() + self.aborts_explicit
+    }
+
+    /// Total attempts: every attempt either commits or aborts, so
+    /// `attempts == commits + total_aborts` — the telemetry invariant
+    /// the test suite pins down.
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.total_aborts()
+    }
+
     /// Abort percentage: conflicts / (commits + conflicts) × 100 — the
     /// y-axis of the paper's abort plots.
     pub fn abort_pct(&self) -> f64 {
@@ -145,6 +112,34 @@ impl StatsSnapshot {
             0.0
         } else {
             100.0 * self.conflict_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Operations executed by attempts that went on to commit.
+    pub fn committed_ops(&self) -> u64 {
+        self.reads + self.writes + self.cmps + self.cmp_pairs + self.incs + self.promotes
+    }
+
+    /// Operations executed by attempts that aborted (thrown away).
+    pub fn aborted_ops(&self) -> u64 {
+        self.aborted_reads
+            + self.aborted_writes
+            + self.aborted_cmps
+            + self.aborted_cmp_pairs
+            + self.aborted_incs
+            + self.aborted_promotes
+    }
+
+    /// Fraction of all transactional operations whose work was thrown
+    /// away by an abort: `aborted / (aborted + committed)`. 0.0 when no
+    /// operation ran at all.
+    pub fn wasted_work_ratio(&self) -> f64 {
+        let wasted = self.aborted_ops();
+        let total = wasted + self.committed_ops();
+        if total == 0 {
+            0.0
+        } else {
+            wasted as f64 / total as f64
         }
     }
 
@@ -194,6 +189,12 @@ impl StatsSnapshot {
             cmp_pairs: self.cmp_pairs - earlier.cmp_pairs,
             incs: self.incs - earlier.incs,
             promotes: self.promotes - earlier.promotes,
+            aborted_reads: self.aborted_reads - earlier.aborted_reads,
+            aborted_writes: self.aborted_writes - earlier.aborted_writes,
+            aborted_cmps: self.aborted_cmps - earlier.aborted_cmps,
+            aborted_cmp_pairs: self.aborted_cmp_pairs - earlier.aborted_cmp_pairs,
+            aborted_incs: self.aborted_incs - earlier.aborted_incs,
+            aborted_promotes: self.aborted_promotes - earlier.aborted_promotes,
         }
     }
 }
@@ -203,57 +204,76 @@ mod tests {
     use super::*;
 
     #[test]
-    fn commit_flushes_op_counts() {
-        let s = Stats::default();
-        let ops = OpCounts {
-            reads: 3,
-            writes: 1,
-            cmps: 2,
-            cmp_pairs: 1,
-            incs: 4,
-            promotes: 1,
+    fn derived_rates_per_commit() {
+        let snap = StatsSnapshot {
+            commits: 2,
+            reads: 6,
+            writes: 2,
+            cmps: 4,
+            cmp_pairs: 2,
+            incs: 8,
+            promotes: 2,
+            ..StatsSnapshot::default()
         };
-        s.record_commit(&ops);
-        s.record_commit(&ops);
-        let snap = s.snapshot();
-        assert_eq!(snap.commits, 2);
         assert_eq!(snap.reads_per_tx(), 3.0);
-        assert_eq!(snap.cmps_per_tx(), 3.0); // 2 + 1 pair
+        assert_eq!(snap.cmps_per_tx(), 3.0); // (4 + 2 pairs) / 2
         assert_eq!(snap.incs_per_tx(), 4.0);
         assert_eq!(snap.promotes_per_tx(), 1.0);
     }
 
     #[test]
     fn abort_pct_excludes_explicit() {
-        let s = Stats::default();
-        s.record_commit(&OpCounts::default());
-        s.record_abort(AbortReason::Validation);
-        s.record_abort(AbortReason::Explicit);
-        let snap = s.snapshot();
+        let snap = StatsSnapshot {
+            commits: 1,
+            aborts_validation: 1,
+            aborts_explicit: 1,
+            ..StatsSnapshot::default()
+        };
         assert_eq!(snap.conflict_aborts(), 1);
+        assert_eq!(snap.total_aborts(), 2);
+        assert_eq!(snap.attempts(), 3);
         assert!((snap.abort_pct() - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn since_computes_interval() {
-        let s = Stats::default();
-        s.record_commit(&OpCounts::default());
-        let t0 = s.snapshot();
-        s.record_commit(&OpCounts {
+        let t0 = StatsSnapshot {
+            commits: 1,
+            ..StatsSnapshot::default()
+        };
+        let t1 = StatsSnapshot {
+            commits: 2,
             reads: 5,
-            ..OpCounts::default()
-        });
-        s.record_abort(AbortReason::Locked);
-        let d = s.snapshot().since(&t0);
+            aborts_locked: 1,
+            aborted_reads: 3,
+            ..StatsSnapshot::default()
+        };
+        let d = t1.since(&t0);
         assert_eq!(d.commits, 1);
         assert_eq!(d.reads, 5);
         assert_eq!(d.aborts_locked, 1);
+        assert_eq!(d.aborted_reads, 3);
+    }
+
+    #[test]
+    fn wasted_work_ratio_counts_aborted_ops() {
+        let snap = StatsSnapshot {
+            commits: 1,
+            reads: 6,
+            aborted_reads: 2,
+            aborted_incs: 2,
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(snap.aborted_ops(), 4);
+        assert_eq!(snap.committed_ops(), 6);
+        assert!((snap.wasted_work_ratio() - 0.4).abs() < 1e-9);
     }
 
     #[test]
     fn empty_snapshot_has_zero_rates() {
-        let snap = Stats::default().snapshot();
+        let snap = StatsSnapshot::default();
         assert_eq!(snap.abort_pct(), 0.0);
         assert_eq!(snap.reads_per_tx(), 0.0);
+        assert_eq!(snap.wasted_work_ratio(), 0.0);
     }
 }

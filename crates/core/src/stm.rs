@@ -11,16 +11,18 @@
 //! makes the base-vs-semantic columns of Table 3 and the figure legends
 //! directly comparable.
 
+use crate::cm::ContentionManager;
 use crate::config::{Algorithm, StmConfig};
 use crate::error::{Abort, AbortReason};
 use crate::heap::{Addr, Heap};
 use crate::norec::{NorecGlobal, NorecTx};
 use crate::ops::CmpOp;
-use crate::stats::{OpCounts, Stats, StatsSnapshot};
+use crate::stats::{OpCounts, StatsSnapshot};
+use crate::telemetry::{Telemetry, TelemetryLevel};
 use crate::tl2::{Tl2Global, Tl2Tx};
-use crate::cm::ContentionManager;
 use crate::util::thread_token;
 use crate::value::Word;
+use std::time::Instant;
 
 /// A shared software-transactional-memory instance.
 ///
@@ -32,7 +34,7 @@ pub struct Stm {
     heap: Heap,
     norec: NorecGlobal,
     tl2: Tl2Global,
-    stats: Stats,
+    telemetry: Telemetry,
 }
 
 impl Stm {
@@ -42,7 +44,7 @@ impl Stm {
             heap: Heap::new(config.heap_words),
             norec: NorecGlobal::default(),
             tl2: Tl2Global::new(config.orec_count),
-            stats: Stats::default(),
+            telemetry: Telemetry::new(config.telemetry, config.algorithm, config.trace_capacity),
             config,
         }
     }
@@ -90,9 +92,15 @@ impl Stm {
         self.heap.store(a, v);
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (merged across all telemetry shards).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.telemetry.snapshot()
+    }
+
+    /// The full telemetry state: histograms, abort traces, shard access.
+    #[inline]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Run `body` as a transaction, retrying on aborts with randomised
@@ -108,22 +116,59 @@ impl Stm {
             self.config.backoff_max_spins,
         );
         let mut tx = Tx::new(self);
+        // One TLS lookup per transaction, not per event: the shard
+        // reference stays hot in a register across retries.
+        let shard = self.telemetry.shard();
+        let histograms = self.telemetry.level() >= TelemetryLevel::Histograms;
+        let trace = self.telemetry.level() >= TelemetryLevel::Trace;
+        let started = if histograms {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut attempt: u32 = 0;
+        let mut attempts_total: u64 = 1;
         loop {
             tx.begin();
             let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
             match outcome {
                 Ok(v) => {
-                    self.stats.record_commit(&tx.ops);
+                    shard.record_commit(&tx.ops);
+                    if let Some(t0) = started {
+                        self.telemetry.record_commit_profile(
+                            t0.elapsed().as_nanos() as u64,
+                            attempts_total,
+                            tx.read_set_len(),
+                            tx.compare_set_len(),
+                        );
+                    }
                     return v;
                 }
                 Err(abort) => {
+                    // Capture set sizes before rollback releases them.
+                    let (rs, cs) = if trace {
+                        (tx.read_set_len(), tx.compare_set_len())
+                    } else {
+                        (0, 0)
+                    };
                     tx.rollback();
-                    self.stats.record_abort(abort.reason);
-                    cm.pause(attempt, abort.reason);
+                    shard.record_abort(abort.reason, &tx.ops);
+                    if trace {
+                        self.telemetry.record_abort_event(
+                            abort.reason,
+                            attempts_total as u32,
+                            rs,
+                            cs,
+                        );
+                    }
+                    let spins = cm.pause(attempt, abort.reason);
+                    if histograms {
+                        self.telemetry.record_backoff(spins);
+                    }
                     if abort.reason != AbortReason::Explicit {
                         attempt = attempt.saturating_add(1);
                     }
+                    attempts_total += 1;
                 }
             }
         }
@@ -136,13 +181,14 @@ impl Stm {
         body: impl FnOnce(&mut Tx<'_>) -> Result<T, Abort>,
     ) -> Result<T, Abort> {
         let mut tx = Tx::new(self);
+        let shard = self.telemetry.shard();
         tx.begin();
         let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
         match &outcome {
-            Ok(_) => self.stats.record_commit(&tx.ops),
+            Ok(_) => shard.record_commit(&tx.ops),
             Err(abort) => {
                 tx.rollback();
-                self.stats.record_abort(abort.reason);
+                shard.record_abort(abort.reason, &tx.ops);
             }
         }
         outcome
@@ -311,9 +357,23 @@ impl<'a> Tx<'a> {
     /// Diagnostics: size of the semantic metadata (read-set entries for
     /// NOrec-family; read-set + compare-set for TL2-family).
     pub fn metadata_len(&self) -> usize {
+        self.read_set_len() + self.compare_set_len()
+    }
+
+    /// Diagnostics: read-set entries buffered so far.
+    pub fn read_set_len(&self) -> usize {
         match &self.inner {
             TxInner::Norec(t) => t.read_set_len(),
-            TxInner::Tl2(t) => t.read_set_len() + t.compare_set_len(),
+            TxInner::Tl2(t) => t.read_set_len(),
+        }
+    }
+
+    /// Diagnostics: compare-set entries buffered so far (always 0 for
+    /// the NOrec family, whose cmp outcomes live in the read-set).
+    pub fn compare_set_len(&self) -> usize {
+        match &self.inner {
+            TxInner::Norec(_) => 0,
+            TxInner::Tl2(t) => t.compare_set_len(),
         }
     }
 
@@ -417,9 +477,8 @@ mod tests {
     #[test]
     fn concurrent_increments_preserve_sum() {
         for alg in Algorithm::ALL {
-            let stm = std::sync::Arc::new(Stm::new(
-                StmConfig::new(alg).heap_words(64).orec_count(64),
-            ));
+            let stm =
+                std::sync::Arc::new(Stm::new(StmConfig::new(alg).heap_words(64).orec_count(64)));
             let a = stm.alloc_cell(0i64);
             let threads = 4i64;
             let per = 200i64;

@@ -1,0 +1,706 @@
+//! The telemetry subsystem: sharded counters, log-bucketed latency
+//! histograms, an abort-event trace, and an interval sampler.
+//!
+//! Everything the paper's evaluation measures — Table 3's per-operation
+//! invocation counts, the abort-rate series of Figures 1–2 — and
+//! everything a scaling investigation needs on top of it (commit-latency
+//! quantiles, wasted work from aborted attempts, per-abort forensics)
+//! flows through one [`Telemetry`] instance owned by the
+//! [`crate::Stm`].
+//!
+//! Three levels, selected by [`StmConfig::telemetry`](crate::StmConfig):
+//!
+//! * [`TelemetryLevel::Counters`] (default) — the sharded counter cells
+//!   only. This *replaces* the old single global `Stats` block of shared
+//!   atomics: each thread increments a cache-line-padded shard selected
+//!   by its [`crate::util::thread_token`], so the hot commit/abort path
+//!   never bounces a counter cache line between cores. Cost: the same
+//!   relaxed `fetch_add`s as before, minus the contention.
+//! * [`TelemetryLevel::Histograms`] — additionally samples commit
+//!   latency, attempts per transaction, read/compare-set sizes at
+//!   commit, and contention-manager backoff into fixed-size atomic
+//!   [`Histogram`]s (two `Instant::now` calls plus a handful of relaxed
+//!   increments per transaction).
+//! * [`TelemetryLevel::Trace`] — additionally records every abort into a
+//!   per-thread fixed-capacity [`EventRing`](crate::ring::EventRing) of
+//!   [`AbortEvent`]s for postmortem dumps (who aborted, why, at which
+//!   attempt, carrying how much metadata).
+//!
+//! The [`Sampler`] turns successive [`StatsSnapshot`]s into a
+//! throughput/abort-rate time series ([`SamplePoint`]) — the exporter
+//! side lives in the bench crate's report writer.
+
+use crate::config::Algorithm;
+use crate::error::AbortReason;
+use crate::ring::EventRing;
+use crate::stats::{OpCounts, StatsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How much the runtime records. Levels are cumulative and ordered:
+/// `Counters < Histograms < Trace`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum TelemetryLevel {
+    /// Sharded commit/abort/operation counters only (default).
+    Counters,
+    /// Counters plus latency/attempt/set-size/backoff histograms.
+    Histograms,
+    /// Histograms plus the per-thread abort-event trace ring.
+    Trace,
+}
+
+impl TelemetryLevel {
+    /// Display name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Histograms => "histograms",
+            TelemetryLevel::Trace => "trace",
+        }
+    }
+}
+
+/// Number of counter shards (and trace rings). A power of two larger
+/// than any sane core count; threads map onto shards by
+/// `thread_token() % SHARDS`, so two threads share a shard only beyond
+/// 64 live threads — and sharing is merely a perf, not a correctness,
+/// concern.
+pub const SHARDS: usize = 64;
+
+/// One cache-line-padded block of per-shard counters. 128-byte aligned
+/// so neighbouring shards can never share a line (and to respect the
+/// 2-line prefetcher granularity on x86).
+#[repr(align(128))]
+#[derive(Default)]
+pub struct StatShard {
+    commits: AtomicU64,
+    aborts_validation: AtomicU64,
+    aborts_locked: AtomicU64,
+    aborts_timeout: AtomicU64,
+    aborts_lock_acquire: AtomicU64,
+    aborts_explicit: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cmps: AtomicU64,
+    cmp_pairs: AtomicU64,
+    incs: AtomicU64,
+    promotes: AtomicU64,
+    aborted_reads: AtomicU64,
+    aborted_writes: AtomicU64,
+    aborted_cmps: AtomicU64,
+    aborted_cmp_pairs: AtomicU64,
+    aborted_incs: AtomicU64,
+    aborted_promotes: AtomicU64,
+}
+
+impl StatShard {
+    /// Record a committed transaction together with its operation counts.
+    #[inline]
+    pub fn record_commit(&self, ops: &OpCounts) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(ops.reads, Ordering::Relaxed);
+        self.writes.fetch_add(ops.writes, Ordering::Relaxed);
+        self.cmps.fetch_add(ops.cmps, Ordering::Relaxed);
+        self.cmp_pairs.fetch_add(ops.cmp_pairs, Ordering::Relaxed);
+        self.incs.fetch_add(ops.incs, Ordering::Relaxed);
+        self.promotes.fetch_add(ops.promotes, Ordering::Relaxed);
+    }
+
+    /// Record an aborted attempt, flushing its operation counts into the
+    /// wasted-work counters (an aborted attempt's work is real work the
+    /// machine did and threw away; hiding it flatters abort-heavy runs).
+    #[inline]
+    pub fn record_abort(&self, reason: AbortReason, ops: &OpCounts) {
+        let ctr = match reason {
+            AbortReason::Validation => &self.aborts_validation,
+            AbortReason::Locked => &self.aborts_locked,
+            AbortReason::Timeout => &self.aborts_timeout,
+            AbortReason::LockAcquire => &self.aborts_lock_acquire,
+            AbortReason::Explicit => &self.aborts_explicit,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        self.aborted_reads.fetch_add(ops.reads, Ordering::Relaxed);
+        self.aborted_writes.fetch_add(ops.writes, Ordering::Relaxed);
+        self.aborted_cmps.fetch_add(ops.cmps, Ordering::Relaxed);
+        self.aborted_cmp_pairs
+            .fetch_add(ops.cmp_pairs, Ordering::Relaxed);
+        self.aborted_incs.fetch_add(ops.incs, Ordering::Relaxed);
+        self.aborted_promotes
+            .fetch_add(ops.promotes, Ordering::Relaxed);
+    }
+
+    fn merge_into(&self, out: &mut StatsSnapshot) {
+        out.commits += self.commits.load(Ordering::Relaxed);
+        out.aborts_validation += self.aborts_validation.load(Ordering::Relaxed);
+        out.aborts_locked += self.aborts_locked.load(Ordering::Relaxed);
+        out.aborts_timeout += self.aborts_timeout.load(Ordering::Relaxed);
+        out.aborts_lock_acquire += self.aborts_lock_acquire.load(Ordering::Relaxed);
+        out.aborts_explicit += self.aborts_explicit.load(Ordering::Relaxed);
+        out.reads += self.reads.load(Ordering::Relaxed);
+        out.writes += self.writes.load(Ordering::Relaxed);
+        out.cmps += self.cmps.load(Ordering::Relaxed);
+        out.cmp_pairs += self.cmp_pairs.load(Ordering::Relaxed);
+        out.incs += self.incs.load(Ordering::Relaxed);
+        out.promotes += self.promotes.load(Ordering::Relaxed);
+        out.aborted_reads += self.aborted_reads.load(Ordering::Relaxed);
+        out.aborted_writes += self.aborted_writes.load(Ordering::Relaxed);
+        out.aborted_cmps += self.aborted_cmps.load(Ordering::Relaxed);
+        out.aborted_cmp_pairs += self.aborted_cmp_pairs.load(Ordering::Relaxed);
+        out.aborted_incs += self.aborted_incs.load(Ordering::Relaxed);
+        out.aborted_promotes += self.aborted_promotes.load(Ordering::Relaxed);
+    }
+}
+
+// --- histograms -----------------------------------------------------------
+
+/// 8 sub-buckets per power-of-two octave, HDR-histogram style: values
+/// below 8 get an exact bucket each; larger values land in the bucket
+/// `(msb - 2) * 8 + ((v >> (msb - 3)) - 8)`, giving a worst-case
+/// relative error of 12.5% across the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 62 * 8;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 3)) - 8) as usize;
+        (msb - 2) * 8 + sub
+    }
+}
+
+/// The smallest value mapping to bucket `i` (the value reported for any
+/// sample in that bucket — quantiles are therefore lower bounds).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 8 {
+        i as u64
+    } else {
+        let shift = i / 8 - 1;
+        ((8 + (i % 8)) as u64) << shift
+    }
+}
+
+/// A fixed-size concurrent histogram: one relaxed `fetch_add` per
+/// sample, no allocation after construction, mergeable by snapshotting.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let mut v = Vec::with_capacity(HISTOGRAM_BUCKETS);
+        v.resize_with(HISTOGRAM_BUCKETS, || AtomicU64::new(0));
+        Histogram {
+            buckets: v.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy out a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile accessors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples (bucketing never loses the sum,
+    /// which is what lets tests assert exact invariants).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the lower bound of the
+    /// bucket containing the `⌈q·count⌉`-th smallest sample (≤ the true
+    /// quantile, within the 12.5% bucket width). 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_lower_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::value_at_quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(lower_bound, sample_count)` pairs, in
+    /// ascending value order — the exporter's raw material.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower_bound(i), c))
+    }
+}
+
+// --- abort trace ----------------------------------------------------------
+
+/// One aborted attempt, as recorded at [`TelemetryLevel::Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortEvent {
+    /// Nanoseconds since the owning [`Telemetry`] (i.e. the `Stm`) was
+    /// created — a per-instance monotonic timeline shared by all threads.
+    pub timestamp_ns: u64,
+    /// Algorithm the instance runs (carried so merged dumps from several
+    /// instances stay attributable).
+    pub algorithm: Algorithm,
+    /// Why the attempt aborted.
+    pub reason: AbortReason,
+    /// 1-based attempt number within its transaction (1 = first try).
+    pub attempt: u32,
+    /// Read-set entries at abort time.
+    pub read_set: usize,
+    /// Compare-set entries at abort time (0 for the NOrec family).
+    pub compare_set: usize,
+}
+
+// --- sampler --------------------------------------------------------------
+
+/// One point of the throughput/abort-rate time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplePoint {
+    /// Seconds since sampling started, at the end of this interval.
+    pub t_secs: f64,
+    /// Length of this interval in seconds.
+    pub dt_secs: f64,
+    /// Commits in this interval.
+    pub commits: u64,
+    /// Conflict aborts in this interval.
+    pub conflict_aborts: u64,
+    /// Commits per second over this interval.
+    pub throughput: f64,
+    /// Conflict-abort percentage over this interval.
+    pub abort_pct: f64,
+}
+
+/// Interval snapshot-differ: feed it absolute [`StatsSnapshot`]s and it
+/// emits per-interval [`SamplePoint`]s. Drives the time-series export.
+#[derive(Debug)]
+pub struct Sampler {
+    started: Instant,
+    prev: StatsSnapshot,
+    prev_t: f64,
+}
+
+impl Sampler {
+    /// Start sampling from the given baseline snapshot at t = 0.
+    pub fn new(baseline: StatsSnapshot) -> Sampler {
+        Sampler {
+            started: Instant::now(),
+            prev: baseline,
+            prev_t: 0.0,
+        }
+    }
+
+    /// Take a sample now (wall clock measured internally).
+    pub fn sample(&mut self, snapshot: StatsSnapshot) -> SamplePoint {
+        let t = self.started.elapsed().as_secs_f64();
+        self.sample_at(t, snapshot)
+    }
+
+    /// Take a sample with an externally supplied timestamp (seconds since
+    /// sampling started). Deterministic, for tests.
+    pub fn sample_at(&mut self, t_secs: f64, snapshot: StatsSnapshot) -> SamplePoint {
+        let delta = snapshot.since(&self.prev);
+        let dt = (t_secs - self.prev_t).max(1e-9);
+        self.prev = snapshot;
+        self.prev_t = t_secs;
+        SamplePoint {
+            t_secs,
+            dt_secs: dt,
+            commits: delta.commits,
+            conflict_aborts: delta.conflict_aborts(),
+            throughput: delta.commits as f64 / dt,
+            abort_pct: delta.abort_pct(),
+        }
+    }
+}
+
+// --- the front object -----------------------------------------------------
+
+/// All telemetry state of one [`crate::Stm`] instance.
+pub struct Telemetry {
+    level: TelemetryLevel,
+    algorithm: Algorithm,
+    started: Instant,
+    shards: Box<[StatShard]>,
+    commit_latency_ns: Histogram,
+    attempts_per_commit: Histogram,
+    commit_read_set: Histogram,
+    commit_compare_set: Histogram,
+    backoff_spins: Histogram,
+    traces: Box<[Mutex<EventRing<AbortEvent>>]>,
+}
+
+impl Telemetry {
+    /// Create telemetry state for one runtime instance. `trace_capacity`
+    /// is the per-thread abort-ring capacity (newest events win).
+    pub fn new(level: TelemetryLevel, algorithm: Algorithm, trace_capacity: usize) -> Telemetry {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, StatShard::default);
+        // The rings only ever see events at Trace level; size them to 1
+        // otherwise so a disabled trace costs a few words, not megabytes.
+        let ring_capacity = if level == TelemetryLevel::Trace {
+            trace_capacity.max(1)
+        } else {
+            1
+        };
+        let mut traces = Vec::with_capacity(SHARDS);
+        traces.resize_with(SHARDS, || Mutex::new(EventRing::new(ring_capacity)));
+        Telemetry {
+            level,
+            algorithm,
+            started: Instant::now(),
+            shards: shards.into_boxed_slice(),
+            commit_latency_ns: Histogram::default(),
+            attempts_per_commit: Histogram::default(),
+            commit_read_set: Histogram::default(),
+            commit_compare_set: Histogram::default(),
+            backoff_spins: Histogram::default(),
+            traces: traces.into_boxed_slice(),
+        }
+    }
+
+    /// The configured recording level.
+    #[inline]
+    pub fn level(&self) -> TelemetryLevel {
+        self.level
+    }
+
+    /// Nanoseconds since this instance was created (the trace timeline).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// The calling thread's counter shard. Cache the reference once per
+    /// transaction, not per event: the `thread_token()` TLS read is cheap
+    /// but not free.
+    #[inline]
+    pub fn shard(&self) -> &StatShard {
+        &self.shards[crate::util::thread_token() as usize % SHARDS]
+    }
+
+    /// Merge all shards into one [`StatsSnapshot`].
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for s in self.shards.iter() {
+            s.merge_into(&mut out);
+        }
+        out
+    }
+
+    /// Record the profile of a committed transaction (histogram level).
+    #[inline]
+    pub fn record_commit_profile(
+        &self,
+        latency_ns: u64,
+        attempts: u64,
+        read_set: usize,
+        compare_set: usize,
+    ) {
+        self.commit_latency_ns.record(latency_ns);
+        self.attempts_per_commit.record(attempts);
+        self.commit_read_set.record(read_set as u64);
+        self.commit_compare_set.record(compare_set as u64);
+    }
+
+    /// Record a contention-manager pause (histogram level; spin counts
+    /// of zero still count a sample so yield-only policies show up).
+    #[inline]
+    pub fn record_backoff(&self, spins: u64) {
+        self.backoff_spins.record(spins);
+    }
+
+    /// Append an abort event to the calling thread's trace ring.
+    pub fn record_abort_event(&self, reason: AbortReason, attempt: u32, rs: usize, cs: usize) {
+        let event = AbortEvent {
+            timestamp_ns: self.elapsed_ns(),
+            algorithm: self.algorithm,
+            reason,
+            attempt,
+            read_set: rs,
+            compare_set: cs,
+        };
+        let slot = crate::util::thread_token() as usize % SHARDS;
+        if let Ok(mut ring) = self.traces[slot].lock() {
+            ring.push(event);
+        }
+    }
+
+    /// End-to-end commit latency in nanoseconds (histogram level).
+    pub fn commit_latency_ns(&self) -> HistogramSnapshot {
+        self.commit_latency_ns.snapshot()
+    }
+    /// Attempts needed per committed transaction (histogram level).
+    pub fn attempts_per_commit(&self) -> HistogramSnapshot {
+        self.attempts_per_commit.snapshot()
+    }
+    /// Read-set size at commit (histogram level).
+    pub fn commit_read_set(&self) -> HistogramSnapshot {
+        self.commit_read_set.snapshot()
+    }
+    /// Compare-set size at commit (histogram level; all-zero for the
+    /// NOrec family and the delegating baselines).
+    pub fn commit_compare_set(&self) -> HistogramSnapshot {
+        self.commit_compare_set.snapshot()
+    }
+    /// Contention-manager spins per pause (histogram level).
+    pub fn backoff_spins(&self) -> HistogramSnapshot {
+        self.backoff_spins.snapshot()
+    }
+
+    /// All retained abort events, merged across threads and sorted by
+    /// timestamp. Each thread retains at most `trace_capacity` newest
+    /// events; [`EventRing::evicted`] tells how many were dropped.
+    pub fn trace_events(&self) -> Vec<AbortEvent> {
+        let mut out = Vec::new();
+        for ring in self.traces.iter() {
+            if let Ok(ring) = ring.lock() {
+                out.extend(ring.iter().copied());
+            }
+        }
+        out.sort_by_key(|e| e.timestamp_ns);
+        out
+    }
+
+    /// Total abort events evicted from trace rings (trace truncation
+    /// indicator: nonzero means the dump is missing the oldest events).
+    pub fn trace_evicted(&self) -> u64 {
+        self.traces
+            .iter()
+            .filter_map(|r| r.lock().ok().map(|ring| ring.evicted()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TelemetryLevel::Counters < TelemetryLevel::Histograms);
+        assert!(TelemetryLevel::Histograms < TelemetryLevel::Trace);
+    }
+
+    #[test]
+    fn bucket_index_is_exact_below_eight() {
+        for v in 0..8 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_consistent() {
+        // Every bucket's lower bound must map back to that bucket, and
+        // bounds must strictly increase.
+        let mut prev = None;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(lb > p, "bucket {i} bound not increasing");
+            }
+            prev = Some(lb);
+        }
+        // And the extremes are representable.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        let mut rng = crate::util::SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let v = rng.next_u64() >> rng.below(60);
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v);
+            // Lower bound within 12.5% of the sample.
+            assert!((v - lb) as f64 <= 0.125 * v as f64 + 1.0, "v={v} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 5050);
+        assert_eq!(s.max(), 100);
+        // Exact below 8; bucketed (≤12.5% low) above.
+        let p50 = s.p50();
+        assert!(p50 <= 50 && p50 as f64 >= 50.0 * 0.875 - 1.0, "p50={p50}");
+        let p99 = s.p99();
+        assert!(p99 <= 99 && p99 as f64 >= 99.0 * 0.875 - 1.0, "p99={p99}");
+        assert_eq!(s.value_at_quantile(0.0), 1, "q=0 is the minimum sample");
+        let p100 = s.value_at_quantile(1.0);
+        assert!(p100 <= 100 && p100 as f64 >= 100.0 * 0.875, "p100={p100}");
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 7, 8, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let total: u64 = s.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, s.count());
+    }
+
+    #[test]
+    fn shard_merge_sums_counts() {
+        let t = Telemetry::new(TelemetryLevel::Counters, Algorithm::SNOrec, 16);
+        let ops = OpCounts {
+            reads: 2,
+            incs: 1,
+            ..OpCounts::default()
+        };
+        // Write into two different shards directly.
+        t.shards[0].record_commit(&ops);
+        t.shards[1].record_commit(&ops);
+        t.shards[1].record_abort(AbortReason::Validation, &ops);
+        let s = t.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.incs, 2);
+        assert_eq!(s.aborts_validation, 1);
+        assert_eq!(s.aborted_reads, 2);
+        assert_eq!(s.aborted_incs, 1);
+    }
+
+    #[test]
+    fn sampler_emits_interval_deltas() {
+        let s0 = StatsSnapshot {
+            commits: 100,
+            aborts_locked: 10,
+            ..StatsSnapshot::default()
+        };
+        let mut sampler = Sampler::new(s0);
+        let s1 = StatsSnapshot {
+            commits: 300,
+            aborts_locked: 110,
+            ..StatsSnapshot::default()
+        };
+        let p = sampler.sample_at(2.0, s1);
+        assert_eq!(p.commits, 200);
+        assert_eq!(p.conflict_aborts, 100);
+        assert!((p.throughput - 100.0).abs() < 1e-9);
+        assert!((p.abort_pct - 100.0 * 100.0 / 300.0).abs() < 1e-9);
+        // Second interval differences against the previous sample.
+        let s2 = StatsSnapshot {
+            commits: 310,
+            aborts_locked: 110,
+            ..StatsSnapshot::default()
+        };
+        let p2 = sampler.sample_at(3.0, s2);
+        assert_eq!(p2.commits, 10);
+        assert_eq!(p2.conflict_aborts, 0);
+        assert!((p2.dt_secs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_and_sorts_events() {
+        let t = Telemetry::new(TelemetryLevel::Trace, Algorithm::STl2, 8);
+        t.record_abort_event(AbortReason::Validation, 1, 3, 2);
+        t.record_abort_event(AbortReason::Locked, 2, 5, 0);
+        let events = t.trace_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].timestamp_ns <= events[1].timestamp_ns);
+        assert_eq!(events[0].reason, AbortReason::Validation);
+        assert_eq!(events[0].algorithm, Algorithm::STl2);
+        assert_eq!(t.trace_evicted(), 0);
+    }
+}

@@ -573,7 +573,7 @@ mod tests {
         let mut t1 = tx(&heap, &global);
         let sv0 = t1.start_version();
         commit_write(&heap, &global, x, 7); // bumps clock past t1's snapshot
-        // Phase-1 cmp sees the newer orec but extends instead of aborting.
+                                            // Phase-1 cmp sees the newer orec but extends instead of aborting.
         assert!(t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap());
         assert!(t1.start_version() > sv0, "snapshot must have been extended");
         assert_eq!(t1.compare_set_len(), 1);
@@ -618,7 +618,8 @@ mod tests {
         assert!(t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap());
         commit_write(&heap, &global, x, 6); // still > 0
         t1.write(out, 1);
-        t1.commit().expect("semantic compare-set validation must pass");
+        t1.commit()
+            .expect("semantic compare-set validation must pass");
         assert_eq!(heap.load(out), 1);
     }
 

@@ -135,7 +135,11 @@ impl<T: Word> TArray<T> {
     /// Address of element `i` (bounds-checked).
     #[inline]
     pub fn addr(&self, i: usize) -> Addr {
-        assert!(i < self.len, "TArray index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "TArray index {i} out of bounds ({})",
+            self.len
+        );
         self.base.offset(i)
     }
 

@@ -118,8 +118,6 @@ impl Fx32 {
         Fx32(v << Self::FRAC_BITS)
     }
 
-
-
     /// Fixed-point division by a plain integer.
     #[inline]
     pub fn div_int(self, d: i64) -> Fx32 {
@@ -206,11 +204,7 @@ mod tests {
         let vals = [-2.5, -0.25, 0.0, 0.125, 7.75];
         for &x in &vals {
             for &y in &vals {
-                assert_eq!(
-                    Fx32::from_f64(x) < Fx32::from_f64(y),
-                    x < y,
-                    "{x} vs {y}"
-                );
+                assert_eq!(Fx32::from_f64(x) < Fx32::from_f64(y), x < y, "{x} vs {y}");
             }
         }
     }

@@ -1,9 +1,16 @@
 //! Property tests on the core data structures and invariants:
 //! the write-set RAW rules of §4.1, the comparison algebra, orec word
 //! encoding, and linearizability of pure-increment traffic.
+//!
+//! Two tiers share the same properties:
+//!
+//! * an always-on deterministic tier driven by [`SplitMix64`] (no
+//!   registry dependencies, runs offline in tier-1);
+//! * the original proptest suite, gated behind the off-by-default
+//!   `registry-deps` feature (see Cargo.toml for how to enable it).
 
-use proptest::prelude::*;
 use semtm_core::sets::{WriteKind, WriteSet};
+use semtm_core::util::SplitMix64;
 use semtm_core::{Addr, Algorithm, CmpOp, Stm, StmConfig};
 
 #[derive(Clone, Copy, Debug)]
@@ -12,26 +19,29 @@ enum WsOp {
     Inc(u8, i64),
 }
 
-fn wsop() -> impl Strategy<Value = WsOp> {
-    prop_oneof![
-        (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Write(a, v)),
-        (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Inc(a, v)),
-    ]
+fn random_wsop(rng: &mut SplitMix64) -> WsOp {
+    let addr = rng.below(4) as u8;
+    let val = rng.below(80) as i64 - 40;
+    if rng.chance(50) {
+        WsOp::Write(addr, val)
+    } else {
+        WsOp::Inc(addr, val)
+    }
 }
 
-proptest! {
-    /// §4.1 write-set rules against a direct model: applying the
-    /// write-set to any initial memory must equal applying the raw
-    /// operations sequentially.
-    #[test]
-    fn write_set_equals_sequential_model(
-        init in prop::array::uniform4(-100i64..100),
-        ops in prop::collection::vec(wsop(), 0..24),
-    ) {
+/// §4.1 write-set rules against a direct model: applying the write-set
+/// to any initial memory must equal applying the raw operations
+/// sequentially. (Port of the proptest case, 300 deterministic runs.)
+#[test]
+fn write_set_equals_sequential_model_deterministic() {
+    let mut rng = SplitMix64::new(0xC0FE);
+    for _ in 0..300 {
+        let init: [i64; 4] = std::array::from_fn(|_| rng.below(200) as i64 - 100);
+        let n_ops = rng.index(24);
         let mut ws = WriteSet::default();
         let mut model = init;
-        for op in &ops {
-            match *op {
+        for _ in 0..n_ops {
+            match random_wsop(&mut rng) {
                 WsOp::Write(a, v) => {
                     ws.write(Addr::from_index(a as usize), v);
                     model[a as usize] = v;
@@ -42,7 +52,6 @@ proptest! {
                 }
             }
         }
-        // "Commit": apply buffered entries over the initial memory.
         let mut mem = init;
         for (addr, e) in ws.iter() {
             let i = addr.index();
@@ -51,16 +60,19 @@ proptest! {
                 WriteKind::Increment => mem[i].wrapping_add(e.value),
             };
         }
-        prop_assert_eq!(mem, model);
+        assert_eq!(mem, model);
     }
+}
 
-    /// Promotion pins exactly the value the live memory had: promote
-    /// then commit equals inc then commit when memory is unchanged.
-    #[test]
-    fn promotion_is_transparent_when_memory_unchanged(
-        init in -100i64..100,
-        deltas in prop::collection::vec(-20i64..20, 1..6),
-    ) {
+/// Promotion pins exactly the value the live memory had: promote then
+/// commit equals inc then commit when memory is unchanged.
+#[test]
+fn promotion_is_transparent_when_memory_unchanged_deterministic() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for _ in 0..300 {
+        let init = rng.below(200) as i64 - 100;
+        let n = 1 + rng.index(5);
+        let deltas: Vec<i64> = (0..n).map(|_| rng.below(40) as i64 - 20).collect();
         let a = Addr::from_index(0);
         let mut plain = WriteSet::default();
         let mut promoted = WriteSet::default();
@@ -68,13 +80,9 @@ proptest! {
             plain.inc(a, d);
             promoted.inc(a, d);
         }
-        // The algorithms promote with the value read from live memory,
-        // which is still `init` here; the promoted entry must pin
-        // `init + total`.
         let total: i64 = deltas.iter().sum();
         let promoted_value = promoted.promote(a, init);
-        prop_assert_eq!(promoted_value, init.wrapping_add(total));
-        // Apply both against memory `init`.
+        assert_eq!(promoted_value, init.wrapping_add(total));
         let commit = |ws: &WriteSet| {
             let mut mem = init;
             for (_, e) in ws.iter() {
@@ -85,40 +93,66 @@ proptest! {
             }
             mem
         };
-        prop_assert_eq!(commit(&plain), commit(&promoted));
+        assert_eq!(commit(&plain), commit(&promoted));
     }
+}
 
-    /// cmp algebra: for every operator and operands, exactly one of
-    /// (op, inverse) holds, and swap mirrors operands.
-    #[test]
-    fn cmp_algebra(a in any::<i64>(), b in any::<i64>()) {
-        for op in CmpOp::ALL {
-            prop_assert_ne!(op.eval(a, b), op.inverse().eval(a, b));
-            prop_assert_eq!(op.eval(a, b), op.swap().eval(b, a));
-            prop_assert_eq!(op.inverse().inverse(), op);
+/// cmp algebra: for every operator and operands, exactly one of
+/// (op, inverse) holds, and swap mirrors operands. Samples random pairs
+/// plus the boundary values where comparison bugs live.
+#[test]
+fn cmp_algebra_deterministic() {
+    let mut rng = SplitMix64::new(7);
+    let mut pairs: Vec<(i64, i64)> = Vec::new();
+    let edges = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+    for &a in &edges {
+        for &b in &edges {
+            pairs.push((a, b));
         }
     }
+    for _ in 0..500 {
+        pairs.push((rng.next_u64() as i64, rng.next_u64() as i64));
+    }
+    for (a, b) in pairs {
+        for op in CmpOp::ALL {
+            assert_ne!(op.eval(a, b), op.inverse().eval(a, b), "{op:?} {a} {b}");
+            assert_eq!(op.eval(a, b), op.swap().eval(b, a), "{op:?} {a} {b}");
+            assert_eq!(op.inverse().inverse(), op);
+        }
+    }
+}
 
-    /// Fx32 increments commute and associate exactly (word addition),
-    /// the property Kmeans relies on.
-    #[test]
-    fn fx32_increments_commute(values in prop::collection::vec(-1_000_000i64..1_000_000, 2..8)) {
-        use semtm_core::Fx32;
+/// Fx32 increments commute and associate exactly (word addition), the
+/// property Kmeans relies on.
+#[test]
+fn fx32_increments_commute_deterministic() {
+    use semtm_core::Fx32;
+    let mut rng = SplitMix64::new(31);
+    for _ in 0..200 {
+        let n = 2 + rng.index(6);
+        let values: Vec<i64> = (0..n)
+            .map(|_| rng.below(2_000_000) as i64 - 1_000_000)
+            .collect();
         let forward = values.iter().fold(Fx32(0), |acc, &v| acc + Fx32(v));
         let mut rev = values.clone();
         rev.reverse();
         let backward = rev.iter().fold(Fx32(0), |acc, &v| acc + Fx32(v));
-        prop_assert_eq!(forward, backward);
+        assert_eq!(forward, backward);
     }
+}
 
-    /// Single-threaded transactions of guarded increments behave like
-    /// the direct computation, for every algorithm (a cheap whole-stack
-    /// property on top of the unit suites).
-    #[test]
-    fn guarded_increment_matches_model(
-        init in -50i64..50,
-        steps in prop::collection::vec((-20i64..20, -20i64..20), 1..12),
-    ) {
+/// Single-threaded transactions of guarded increments behave like the
+/// direct computation, for every algorithm (a cheap whole-stack property
+/// on top of the unit suites).
+#[test]
+fn guarded_increment_matches_model_deterministic() {
+    let mut rng = SplitMix64::new(99);
+    for round in 0..40 {
+        let init = rng.below(100) as i64 - 50;
+        let n = 1 + rng.index(11);
+        let steps: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.below(40) as i64 - 20, rng.below(40) as i64 - 20))
+            .collect();
         for alg in Algorithm::ALL {
             let stm = Stm::new(StmConfig::new(alg).heap_words(64).orec_count(16));
             let x = stm.alloc_cell(init);
@@ -134,7 +168,88 @@ proptest! {
                     model += delta;
                 }
             }
-            prop_assert_eq!(stm.read_now(x), model, "{}", alg);
+            assert_eq!(stm.read_now(x), model, "{alg} round {round}");
+        }
+    }
+}
+
+/// The original proptest tier. Enable with the (off-by-default)
+/// `registry-deps` feature after uncommenting the proptest
+/// dev-dependency in Cargo.toml.
+#[cfg(feature = "registry-deps")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn wsop() -> impl Strategy<Value = WsOp> {
+        prop_oneof![
+            (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Write(a, v)),
+            (0u8..4, -40i64..40).prop_map(|(a, v)| WsOp::Inc(a, v)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn write_set_equals_sequential_model(
+            init in prop::array::uniform4(-100i64..100),
+            ops in prop::collection::vec(wsop(), 0..24),
+        ) {
+            let mut ws = WriteSet::default();
+            let mut model = init;
+            for op in &ops {
+                match *op {
+                    WsOp::Write(a, v) => {
+                        ws.write(Addr::from_index(a as usize), v);
+                        model[a as usize] = v;
+                    }
+                    WsOp::Inc(a, d) => {
+                        ws.inc(Addr::from_index(a as usize), d);
+                        model[a as usize] = model[a as usize].wrapping_add(d);
+                    }
+                }
+            }
+            let mut mem = init;
+            for (addr, e) in ws.iter() {
+                let i = addr.index();
+                mem[i] = match e.kind {
+                    WriteKind::Store => e.value,
+                    WriteKind::Increment => mem[i].wrapping_add(e.value),
+                };
+            }
+            prop_assert_eq!(mem, model);
+        }
+
+        #[test]
+        fn cmp_algebra(a in any::<i64>(), b in any::<i64>()) {
+            for op in CmpOp::ALL {
+                prop_assert_ne!(op.eval(a, b), op.inverse().eval(a, b));
+                prop_assert_eq!(op.eval(a, b), op.swap().eval(b, a));
+                prop_assert_eq!(op.inverse().inverse(), op);
+            }
+        }
+
+        #[test]
+        fn guarded_increment_matches_model(
+            init in -50i64..50,
+            steps in prop::collection::vec((-20i64..20, -20i64..20), 1..12),
+        ) {
+            for alg in Algorithm::ALL {
+                let stm = Stm::new(StmConfig::new(alg).heap_words(64).orec_count(16));
+                let x = stm.alloc_cell(init);
+                let mut model = init;
+                for &(threshold, delta) in &steps {
+                    stm.atomic(|tx| {
+                        if tx.cmp(x, CmpOp::Gte, threshold)? {
+                            tx.inc(x, delta)?;
+                        }
+                        Ok(())
+                    });
+                    if model >= threshold {
+                        model += delta;
+                    }
+                }
+                prop_assert_eq!(stm.read_now(x), model, "{}", alg);
+            }
         }
     }
 }

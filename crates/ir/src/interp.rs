@@ -134,11 +134,8 @@ impl<'a> Interp<'a> {
                 // execution errors (step budget, structural problems) must
                 // NOT commit partial effects, so they abort the attempt and
                 // surface through `exec_err`.
-                let mut backoff = semtm_core::util::Backoff::new(
-                    semtm_core::util::thread_token(),
-                    16,
-                    4096,
-                );
+                let mut backoff =
+                    semtm_core::util::Backoff::new(semtm_core::util::thread_token(), 16, 4096);
                 let mut attempt = 0u32;
                 let (b, i) = loop {
                     let mut exec_err: Option<ExecError> = None;
@@ -304,7 +301,12 @@ impl<'a> Interp<'a> {
                 self.stm
                     .write_now(Self::addr(val(addr, regs))?, val(v, regs));
             }
-            Inst::TmCmpVal { op, dst, addr, val: v } => {
+            Inst::TmCmpVal {
+                op,
+                dst,
+                addr,
+                val: v,
+            } => {
                 let lhs = self.stm.read_now(Self::addr(val(addr, regs))?);
                 regs[dst as usize] = op.eval(lhs, val(v, regs)) as i64;
             }
@@ -313,7 +315,11 @@ impl<'a> Interp<'a> {
                 let rhs = self.stm.read_now(Self::addr(val(b, regs))?);
                 regs[dst as usize] = op.eval(lhs, rhs) as i64;
             }
-            Inst::TmInc { addr, delta, negate } => {
+            Inst::TmInc {
+                addr,
+                delta,
+                negate,
+            } => {
                 let a = Self::addr(val(addr, regs))?;
                 let d = val(delta, regs);
                 let d = if negate { -d } else { d };
@@ -348,13 +354,17 @@ impl<'a> Interp<'a> {
                 }
                 tx.write(Addr::from_index(a as usize), val(v, regs))?;
             }
-            Inst::TmCmpVal { op, dst, addr, val: v } => {
+            Inst::TmCmpVal {
+                op,
+                dst,
+                addr,
+                val: v,
+            } => {
                 let a = val(addr, regs);
                 if a < 0 {
                     return Err(bad(a));
                 }
-                regs[dst as usize] =
-                    tx.cmp(Addr::from_index(a as usize), op, val(v, regs))? as i64;
+                regs[dst as usize] = tx.cmp(Addr::from_index(a as usize), op, val(v, regs))? as i64;
             }
             Inst::TmCmpAddr { op, dst, a, b } => {
                 let av = val(a, regs);
@@ -368,7 +378,11 @@ impl<'a> Interp<'a> {
                     Addr::from_index(bv as usize),
                 )? as i64;
             }
-            Inst::TmInc { addr, delta, negate } => {
+            Inst::TmInc {
+                addr,
+                delta,
+                negate,
+            } => {
                 let a = val(addr, regs);
                 if a < 0 {
                     return Err(bad(a));

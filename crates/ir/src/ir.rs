@@ -258,7 +258,10 @@ impl Inst {
 
     /// Whether this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 }
 
@@ -424,7 +427,11 @@ fn display_inst(i: &Inst, func: &Function) -> String {
             display_operand(*a),
             display_operand(*b)
         ),
-        Inst::TmInc { addr, delta, negate } => format!(
+        Inst::TmInc {
+            addr,
+            delta,
+            negate,
+        } => format!(
             "{} {}, {}    ; _ITM_SW",
             if *negate { "tmdec" } else { "tminc" },
             display_operand(*addr),

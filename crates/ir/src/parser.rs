@@ -85,12 +85,10 @@ impl Parser {
         let Some(num) = s.strip_prefix('r') else {
             return err(line, format!("expected register, got '{s}'"));
         };
-        let r: u32 = num
-            .parse()
-            .map_err(|_| ParseError {
-                line,
-                message: format!("bad register '{s}'"),
-            })?;
+        let r: u32 = num.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad register '{s}'"),
+        })?;
         self.max_reg = self.max_reg.max(r + 1);
         Ok(r)
     }
@@ -146,10 +144,13 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
                 message: "missing ')'".into(),
             })?;
             name = rest[..open].trim().to_string();
-            num_args = rest[open + 1..close].trim().parse().map_err(|_| ParseError {
-                line,
-                message: "bad argument count".into(),
-            })?;
+            num_args = rest[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| ParseError {
+                    line,
+                    message: "bad argument count".into(),
+                })?;
             if !rest[close + 1..].trim().starts_with('{') {
                 return err(line, "missing '{'");
             }
@@ -213,7 +214,8 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
         num_regs: p.max_reg,
         blocks,
     };
-    f.validate().map_err(|message| ParseError { line: 0, message })?;
+    f.validate()
+        .map_err(|message| ParseError { line: 0, message })?;
     Ok(f)
 }
 
@@ -249,25 +251,19 @@ fn parse_inst(
             Ok((p.operand(args[0], line)?, p.operand(args[1], line)?))
         };
         if mnemonic == "const" || mnemonic == "mov" {
-            return Ok(Inst::Mov {
-                dst,
-                src: one(p)?,
-            });
+            return Ok(Inst::Mov { dst, src: one(p)? });
         }
         if mnemonic == "not" {
-            return Ok(Inst::Not {
-                dst,
-                src: one(p)?,
-            });
+            return Ok(Inst::Not { dst, src: one(p)? });
         }
         if mnemonic == "tmload" {
-            return Ok(Inst::TmLoad {
-                dst,
-                addr: one(p)?,
-            });
+            return Ok(Inst::TmLoad { dst, addr: one(p)? });
         }
         if mnemonic == "rand" {
-            return err(line, "'rand' is not part of the IR; pass randomness as arguments");
+            return err(
+                line,
+                "'rand' is not part of the IR; pass randomness as arguments",
+            );
         }
         if let Some(op) = parse_bin_op(mnemonic) {
             let (a, b) = two(p)?;
@@ -332,12 +328,7 @@ fn parse_inst(
                 return err(line, "'condbr' needs cond, then, else");
             }
             let cond = p.operand(args[0], line)?;
-            fixups.push((
-                bi,
-                ii,
-                line,
-                vec![args[1].to_string(), args[2].to_string()],
-            ));
+            fixups.push((bi, ii, line, vec![args[1].to_string(), args[2].to_string()]));
             Ok(Inst::CondBr {
                 cond,
                 then_to: 0,

@@ -134,13 +134,7 @@ pub fn tm_mark(func: &mut Function) -> PassReport {
                     let Some(&bin_at) = reach[i].get(&vr) else {
                         continue;
                     };
-                    let Inst::Bin {
-                        op: bop,
-                        dst,
-                        a,
-                        b,
-                    } = block.insts[bin_at].clone()
-                    else {
+                    let Inst::Bin { op: bop, dst, a, b } = block.insts[bin_at].clone() else {
                         continue;
                     };
                     if dst != vr {

@@ -189,15 +189,8 @@ mod tests {
                 assert!(rep.s1r >= 2, "probe checks become S1R: {rep:?}");
             }
             let interp = Interp::new(&s);
-            let args = |key: i64, op: i64| {
-                vec![
-                    states.index() as i64,
-                    keys.index() as i64,
-                    15,
-                    key,
-                    op,
-                ]
-            };
+            let args =
+                |key: i64, op: i64| vec![states.index() as i64, keys.index() as i64, 15, key, op];
             assert_eq!(interp.execute(&f, &args(7, 0)).unwrap(), Some(0), "miss");
             assert_eq!(interp.execute(&f, &args(7, 1)).unwrap(), Some(2), "insert");
             assert_eq!(interp.execute(&f, &args(7, 0)).unwrap(), Some(1), "hit");

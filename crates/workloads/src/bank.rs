@@ -12,9 +12,9 @@
 //!
 //! Invariant: total money is conserved.
 
-use crate::driver::{run_for_duration, RunResult};
+use crate::driver::{run_for_duration, run_for_duration_sampled, RunResult};
 use semtm_core::util::SplitMix64;
-use semtm_core::{Abort, Stm, TArray, Tx};
+use semtm_core::{Abort, SamplePoint, Stm, TArray, Tx};
 use std::time::Duration;
 
 /// Bank configuration.
@@ -80,7 +80,11 @@ impl Bank {
             if dst == src {
                 dst = (dst + 1) % n;
             }
-            *slot = (src, dst, 1 + rng.below(self.config.max_amount as u64) as i64);
+            *slot = (
+                src,
+                dst,
+                1 + rng.below(self.config.max_amount as u64) as i64,
+            );
         }
         let audit = if rng.below(1000) < self.config.audit_per_mille as u64 {
             Some(rng.index(n))
@@ -143,13 +147,37 @@ impl Bank {
 }
 
 /// Measured run for the figure harness: `threads` workers for `duration`.
-pub fn run(stm: &Stm, config: BankConfig, threads: usize, duration: Duration, seed: u64) -> RunResult {
+pub fn run(
+    stm: &Stm,
+    config: BankConfig,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> RunResult {
     let bank = Bank::new(stm, config);
     let r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
         bank.transfer_tx(stm, rng);
     });
     bank.verify(stm).expect("bank invariant violated");
     r
+}
+
+/// Like [`run`], but additionally samples throughput/abort-rate every
+/// `sample_every` (the telemetry time-series export).
+pub fn run_sampled(
+    stm: &Stm,
+    config: BankConfig,
+    threads: usize,
+    duration: Duration,
+    sample_every: Duration,
+    seed: u64,
+) -> (RunResult, Vec<SamplePoint>) {
+    let bank = Bank::new(stm, config);
+    let out = run_for_duration_sampled(stm, threads, duration, sample_every, seed, |_tid, rng| {
+        bank.transfer_tx(stm, rng);
+    });
+    bank.verify(stm).expect("bank invariant violated");
+    out
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! derived.
 
 use semtm_core::util::SplitMix64;
-use semtm_core::{StatsSnapshot, Stm};
+use semtm_core::{SamplePoint, Sampler, StatsSnapshot, Stm};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -88,6 +88,67 @@ pub fn run_for_duration(
     }
 }
 
+/// Like [`run_for_duration`], but the timer thread additionally samples
+/// the runtime's statistics every `sample_every`, producing the
+/// throughput/abort-rate time series of the paper's figure style (and of
+/// any production dashboard). The final partial interval is included, so
+/// the series' commit counts sum to the run's commits.
+pub fn run_for_duration_sampled(
+    stm: &Stm,
+    threads: usize,
+    duration: Duration,
+    sample_every: Duration,
+    seed: u64,
+    work: impl Fn(usize, &mut SplitMix64) + Sync,
+) -> (RunResult, Vec<SamplePoint>) {
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let before = stm.stats();
+    let sample_every = sample_every.max(Duration::from_millis(1));
+    let start = Instant::now();
+    let mut series = Vec::new();
+    // Deltas are taken against `before` so the series ignores any earlier
+    // traffic on the same Stm, exactly like the RunResult itself.
+    let mut sampler = Sampler::new(before);
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let stop = &stop;
+            let ops = &ops;
+            let work = &work;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    work(tid, &mut rng);
+                    local += 1;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        // The scope owner doubles as timer and sampler.
+        while start.elapsed() < duration {
+            let remaining = duration.saturating_sub(start.elapsed());
+            std::thread::sleep(sample_every.min(remaining));
+            series.push(sampler.sample(stm.stats()));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+    // Workers drain their in-flight transaction after `stop`; fold that
+    // tail into a final sample so the series sums to the run totals.
+    let tail = sampler.sample(stm.stats());
+    if tail.commits > 0 || series.is_empty() {
+        series.push(tail);
+    }
+    let result = RunResult {
+        threads,
+        elapsed,
+        total_ops: ops.load(Ordering::Relaxed),
+        stats: stm.stats().since(&before),
+    };
+    (result, series)
+}
+
 /// Split `total_ops` operations across `threads` threads and time the
 /// whole batch (STAMP-style execution-time measurement). Operation `i` of
 /// the global index space is executed by thread `i % threads`.
@@ -137,6 +198,34 @@ mod tests {
         assert_eq!(r.total_ops, 100);
         assert_eq!(stm.read_now(a), 100);
         assert_eq!(r.stats.commits, 100);
+    }
+
+    #[test]
+    fn sampled_run_series_sums_to_totals() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(1 << 10));
+        let a = stm.alloc_cell(0i64);
+        let (r, series) = run_for_duration_sampled(
+            &stm,
+            2,
+            Duration::from_millis(80),
+            Duration::from_millis(10),
+            7,
+            |_tid, _rng| {
+                stm.atomic(|tx| tx.inc(a, 1));
+            },
+        );
+        assert!(!series.is_empty());
+        assert!(
+            series.len() >= 4,
+            "80ms / 10ms should yield several samples"
+        );
+        let sum: u64 = series.iter().map(|p| p.commits).sum();
+        assert_eq!(sum, r.stats.commits, "series must cover the whole run");
+        let aborts: u64 = series.iter().map(|p| p.conflict_aborts).sum();
+        assert_eq!(aborts, r.stats.conflict_aborts());
+        for w in series.windows(2) {
+            assert!(w[0].t_secs < w[1].t_secs, "timestamps strictly increase");
+        }
     }
 
     #[test]

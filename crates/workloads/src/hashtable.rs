@@ -345,7 +345,10 @@ mod tests {
         let (used, removed, free) = t.census(&s);
         let cap = (t.mask + 1) as f64;
         assert!((used as f64 / cap - 0.4).abs() < 0.1, "used {used}");
-        assert!((removed as f64 / cap - 0.4).abs() < 0.1, "removed {removed}");
+        assert!(
+            (removed as f64 / cap - 0.4).abs() < 0.1,
+            "removed {removed}"
+        );
         assert!(free > 0);
     }
 

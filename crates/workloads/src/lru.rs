@@ -163,7 +163,13 @@ impl LruCache {
 }
 
 /// Measured run for the figure harness.
-pub fn run(stm: &Stm, config: LruConfig, threads: usize, duration: Duration, seed: u64) -> RunResult {
+pub fn run(
+    stm: &Stm,
+    config: LruConfig,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> RunResult {
     let cache = LruCache::new(stm, config);
     // Warm the cache so lookups hit (and produce `inc` traffic).
     let mut rng = SplitMix64::new(seed ^ 0xCAFE);

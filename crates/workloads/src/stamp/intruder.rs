@@ -204,17 +204,24 @@ pub fn run(stm: &Stm, config: IntruderConfig, threads: usize, seed: u64) -> RunR
     let sys = Intruder::new(stm, config, seed);
     let detected = std::sync::Mutex::new(Vec::new());
     let scanned = AtomicUsize::new(0);
-    let r = run_fixed_work(stm, threads, sys.fragments() as u64, seed, |_tid, i, _rng| {
-        let done = stm.atomic(|tx| sys.process(tx, i as usize));
-        if let Some(flow) = done {
-            scanned.fetch_add(1, Ordering::Relaxed);
-            if sys.detect(stm, flow) {
-                detected.lock().unwrap().push(flow);
+    let r = run_fixed_work(
+        stm,
+        threads,
+        sys.fragments() as u64,
+        seed,
+        |_tid, i, _rng| {
+            let done = stm.atomic(|tx| sys.process(tx, i as usize));
+            if let Some(flow) = done {
+                scanned.fetch_add(1, Ordering::Relaxed);
+                if sys.detect(stm, flow) {
+                    detected.lock().unwrap().push(flow);
+                }
             }
-        }
-    });
+        },
+    );
     let mut detected = detected.into_inner().unwrap();
-    sys.verify(stm, &mut detected).expect("intruder invariant violated");
+    sys.verify(stm, &mut detected)
+        .expect("intruder invariant violated");
     assert_eq!(scanned.load(Ordering::Relaxed), config.flows);
     r
 }

@@ -121,7 +121,8 @@ impl Kmeans {
             for c in 0..cfg.clusters {
                 self.new_centers_len.write_now(stm, c, 0);
                 for f in 0..cfg.features {
-                    self.new_centers.write_now(stm, c * cfg.features + f, Fx32::ZERO);
+                    self.new_centers
+                        .write_now(stm, c * cfg.features + f, Fx32::ZERO);
                 }
             }
             let centers_ref = &centers;
@@ -130,8 +131,7 @@ impl Kmeans {
             run_fixed_work(stm, threads, cfg.points as u64, seed, |_tid, i, _rng| {
                 let p = i as usize;
                 let c = self.nearest(p, centers_ref);
-                let prev =
-                    membership_ref[p].swap(c, std::sync::atomic::Ordering::Relaxed);
+                let prev = membership_ref[p].swap(c, std::sync::atomic::Ordering::Relaxed);
                 if prev != c || iterations == 0 {
                     changed_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
@@ -148,16 +148,15 @@ impl Kmeans {
             for c in 0..cfg.clusters {
                 let n = self.new_centers_len.read_now(stm, c).max(1);
                 for f in 0..cfg.features {
-                    centers[c * cfg.features + f] =
-                        self.new_centers.read_now(stm, c * cfg.features + f).div_int(n);
+                    centers[c * cfg.features + f] = self
+                        .new_centers
+                        .read_now(stm, c * cfg.features + f)
+                        .div_int(n);
                 }
             }
             iterations += 1;
         }
-        let final_membership = membership
-            .into_iter()
-            .map(|a| a.into_inner())
-            .collect();
+        let final_membership = membership.into_iter().map(|a| a.into_inner()).collect();
         (iterations, final_membership)
     }
 
@@ -236,10 +235,7 @@ mod tests {
         for class_votes in votes {
             let max = *class_votes.iter().max().unwrap();
             let total: usize = class_votes.iter().sum();
-            assert!(
-                max * 10 >= total * 7,
-                "class not cohesive: {class_votes:?}"
-            );
+            assert!(max * 10 >= total * 7, "class not cohesive: {class_votes:?}");
         }
     }
 

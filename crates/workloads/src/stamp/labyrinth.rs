@@ -159,7 +159,9 @@ impl Labyrinth {
 
     /// Non-transactional snapshot of the grid (the "memory copy").
     fn snapshot(&self, stm: &Stm) -> Vec<i64> {
-        (0..self.cells()).map(|i| self.grid.read_now(stm, i)).collect()
+        (0..self.cells())
+            .map(|i| self.grid.read_now(stm, i))
+            .collect()
     }
 
     /// Lee expansion on a private snapshot; returns the cell path from
@@ -209,12 +211,7 @@ impl Labyrinth {
     /// Publish `path` under `id`: semantic emptiness checks plus writes.
     /// Fails with an explicit abort if any cell was grabbed concurrently
     /// (the caller then recomputes the route).
-    fn publish(
-        &self,
-        tx: &mut semtm_core::Tx<'_>,
-        path: &[usize],
-        id: i64,
-    ) -> Result<(), Abort> {
+    fn publish(&self, tx: &mut semtm_core::Tx<'_>, path: &[usize], id: i64) -> Result<(), Abort> {
         for &cell in path {
             // isEmpty check — TM_EQ(cell, EMPTY)
             if !self.grid.cmp(tx, cell, CmpOp::Eq, EMPTY)? {
@@ -297,12 +294,7 @@ impl Labyrinth {
 
 /// Measured run: route every pair, split across threads (fixed work,
 /// Figures 1k–1n). Returns the run result; integrity is asserted.
-pub fn run(
-    stm: &Stm,
-    config: LabyrinthConfig,
-    threads: usize,
-    seed: u64,
-) -> RunResult {
+pub fn run(stm: &Stm, config: LabyrinthConfig, threads: usize, seed: u64) -> RunResult {
     let maze = Labyrinth::new(stm, config, seed);
     let routed = std::sync::Mutex::new(Vec::new());
     let r = run_fixed_work(stm, threads, config.pairs as u64, seed, |_tid, i, _rng| {
@@ -312,7 +304,8 @@ pub fn run(
         }
     });
     let routed = routed.into_inner().unwrap();
-    maze.verify(stm, &routed).expect("labyrinth integrity violated");
+    maze.verify(stm, &routed)
+        .expect("labyrinth integrity violated");
     r
 }
 

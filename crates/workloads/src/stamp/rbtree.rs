@@ -473,13 +473,15 @@ mod tests {
             let m = RbMap::new(&s);
             for k in [5i64, 2, 8, 1, 3, 7, 9, 6] {
                 assert!(s.atomic(|tx| m.insert(&s, tx, k, k * 10)), "{alg}");
-                m.verify(&s).unwrap_or_else(|e| panic!("{alg} after insert {k}: {e}"));
+                m.verify(&s)
+                    .unwrap_or_else(|e| panic!("{alg} after insert {k}: {e}"));
             }
             assert!(!s.atomic(|tx| m.insert(&s, tx, 5, 55)), "overwrite");
             assert_eq!(s.atomic(|tx| m.get(tx, 5)), Some(55));
             for k in [1i64, 9, 5, 2, 8, 3, 7, 6] {
                 assert!(s.atomic(|tx| m.remove(tx, k)).is_some(), "{alg} remove {k}");
-                m.verify(&s).unwrap_or_else(|e| panic!("{alg} after remove {k}: {e}"));
+                m.verify(&s)
+                    .unwrap_or_else(|e| panic!("{alg} after remove {k}: {e}"));
             }
             assert_eq!(m.len_now(&s), 0);
         }

@@ -96,7 +96,9 @@ impl Ssca2 {
         for u in 0..self.config.vertices {
             let deg = self.degree.read_now(stm, u) as usize;
             for slot in 0..self.config.max_degree {
-                let v = self.adjacency.read_now(stm, u * self.config.max_degree + slot);
+                let v = self
+                    .adjacency
+                    .read_now(stm, u * self.config.max_degree + slot);
                 if slot < deg {
                     if v < 0 {
                         return Err(format!("vertex {u}: hole at slot {slot} within degree"));
@@ -165,7 +167,11 @@ mod tests {
         let s = stm(Algorithm::SNOrec);
         let _ = run(&s, small(), 1, 13);
         let st = s.stats();
-        assert!((st.reads_per_tx() - 1.0).abs() < 1e-9, "{}", st.reads_per_tx());
+        assert!(
+            (st.reads_per_tx() - 1.0).abs() < 1e-9,
+            "{}",
+            st.reads_per_tx()
+        );
         assert!((st.writes_per_tx() - 1.0).abs() < 1e-9);
         assert!((st.incs_per_tx() - 1.0).abs() < 1e-9);
         assert_eq!(st.promotes, 0, "inc after read never promotes");

@@ -182,17 +182,14 @@ impl Vacation {
         stm.write_now(node.offset(L_OFFER), offer_id);
         stm.write_now(node.offset(L_NEXT), NIL);
         tx.write(node.offset(L_NEXT), head)?;
-        self.customers.insert(stm, tx, customer, node.index() as i64)?;
+        self.customers
+            .insert(stm, tx, customer, node.index() as i64)?;
         Ok(())
     }
 
     /// Release all of `customer`'s bookings and drop the customer row.
     /// Returns the number of released units.
-    pub fn delete_customer(
-        &self,
-        tx: &mut Tx<'_>,
-        customer: i64,
-    ) -> Result<usize, Abort> {
+    pub fn delete_customer(&self, tx: &mut Tx<'_>, customer: i64) -> Result<usize, Abort> {
         let Some(mut node) = self.customers.remove(tx, customer)? else {
             return Ok(0);
         };
@@ -279,7 +276,6 @@ impl Vacation {
                 return Err(e);
             }
             self.tables[rel as usize].verify(stm)?;
-
         }
         let mut booked = 0i64;
         self.customers.for_each_now(stm, |_, mut node| {

@@ -242,9 +242,7 @@ impl Yada {
         }
         let counted = self.element_count.read_now(stm);
         if counted != alive {
-            return Err(format!(
-                "element counter {counted} != alive census {alive}"
-            ));
+            return Err(format!("element counter {counted} != alive census {alive}"));
         }
         Ok(())
     }

@@ -18,7 +18,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn main() {
     println!("== Algorithm 3: array queue, enqueue/dequeue concurrency ==\n");
-    for alg in [Algorithm::NOrec, Algorithm::SNOrec, Algorithm::Tl2, Algorithm::STl2] {
+    for alg in [
+        Algorithm::NOrec,
+        Algorithm::SNOrec,
+        Algorithm::Tl2,
+        Algorithm::STl2,
+    ] {
         let stm = Stm::new(StmConfig::new(alg).heap_words(1 << 10));
         let q = TQueue::new(&stm, 1024);
         // Keep the queue comfortably non-empty so the semantic win (the

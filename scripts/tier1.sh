@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass offline (no registry access).
+# Mirrors .github/workflows/tier1.yml; run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

@@ -19,6 +19,7 @@ pub use semtm_workloads as workloads;
 
 // Flat re-exports of the everyday API.
 pub use semtm_core::{
-    Abort, AbortReason, Addr, Algorithm, CmpOp, Fx32, Heap, StatsSnapshot, Stm, StmConfig, TArray,
-    TVar, Tx, Word,
+    Abort, AbortEvent, AbortReason, Addr, Algorithm, CmpOp, Fx32, Heap, HistogramSnapshot,
+    SamplePoint, Sampler, StatsSnapshot, Stm, StmConfig, TArray, TVar, Telemetry, TelemetryLevel,
+    Tx, Word,
 };

@@ -5,7 +5,7 @@ use semtm::core::util::SplitMix64;
 use semtm::workloads::queue::TQueue;
 use semtm::workloads::stamp::tmap::TMap;
 use semtm::workloads::{bank, hashtable, lru};
-use semtm::{Algorithm, Stm, StmConfig};
+use semtm::{Algorithm, Stm, StmConfig, TelemetryLevel};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Duration;
 
@@ -172,6 +172,60 @@ fn ring_filters_preserve_bank_conservation() {
     };
     let r = bank::run(&s, cfg, 4, Duration::from_millis(150), 23);
     assert!(r.total_ops > 0);
+}
+
+#[test]
+fn telemetry_invariants_hold_under_full_tracing() {
+    // Heaviest-instrumentation configuration (Trace) under real Bank
+    // contention: the telemetry's own accounting identities must hold
+    // exactly, for every algorithm.
+    for alg in Algorithm::ALL {
+        let s = Stm::new(
+            StmConfig::new(alg)
+                .heap_words(1 << 12)
+                .orec_count(1 << 10)
+                .telemetry(TelemetryLevel::Trace)
+                .trace_capacity(128),
+        );
+        let cfg = bank::BankConfig {
+            accounts: 8, // few accounts = heavy conflicts
+            ..bank::BankConfig::default()
+        };
+        let r = bank::run(&s, cfg, 4, Duration::from_millis(120), 17);
+        let st = s.stats();
+        assert!(st.commits >= r.total_ops, "{alg}");
+        assert_eq!(
+            st.attempts(),
+            st.commits + st.total_aborts(),
+            "{alg}: commits + aborts == attempts"
+        );
+        let t = s.telemetry();
+        assert_eq!(
+            t.commit_latency_ns().count(),
+            st.commits,
+            "{alg}: one latency sample per commit"
+        );
+        assert_eq!(
+            t.attempts_per_commit().count(),
+            st.commits,
+            "{alg}: one attempts sample per commit"
+        );
+        assert_eq!(
+            t.attempts_per_commit().sum(),
+            st.attempts(),
+            "{alg}: attempts histogram covers every attempt"
+        );
+        assert_eq!(
+            t.trace_events().len() as u64 + t.trace_evicted(),
+            st.total_aborts(),
+            "{alg}: every abort is traced or counted as evicted"
+        );
+        // Quantiles are drawn from recorded buckets, so they stay within
+        // the observed maximum.
+        let lat = t.commit_latency_ns();
+        assert!(lat.p50() <= lat.p90() && lat.p90() <= lat.p99(), "{alg}");
+        assert!(lat.p99() <= lat.max(), "{alg}");
+    }
 }
 
 #[test]

@@ -1,9 +1,11 @@
 //! End-to-end tests of the compiler substrate: parse → passes →
-//! transactional execution, plus a property test that the passes are
+//! transactional execution, plus property tests that the passes are
 //! semantics-preserving on arbitrary straight-line transactional
-//! programs.
+//! programs. The property tier runs deterministically (seeded
+//! `SplitMix64`); the original proptest suite is gated behind the
+//! off-by-default `registry-deps` feature.
 
-use proptest::prelude::*;
+use semtm::core::util::SplitMix64;
 use semtm::ir::ir::{BinOp, Block, Function, Inst, Operand};
 use semtm::ir::{parse_function, run_tm_passes, Interp};
 use semtm::{Algorithm, Stm, StmConfig};
@@ -73,25 +75,25 @@ empty:
 enum SOp {
     Load(usize),
     StoreImm(usize, i64),
-    StoreLoadPlus(usize, i64),  // *a = *a + k  (inc pattern)
-    StoreLoadMinus(usize, i64), // *a = *a - k  (dec pattern)
+    StoreLoadPlus(usize, i64),         // *a = *a + k  (inc pattern)
+    StoreLoadMinus(usize, i64),        // *a = *a - k  (dec pattern)
     StoreCrossPlus(usize, usize, i64), // *a = *b + k (NOT an inc)
     CmpImm(usize, i64),
 }
 
 const CELLS: usize = 3;
 
-fn sop_strategy() -> impl Strategy<Value = SOp> {
-    let cell = 0..CELLS;
-    let k = -9i64..9;
-    prop_oneof![
-        cell.clone().prop_map(SOp::Load),
-        (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreImm(c, k)),
-        (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreLoadPlus(c, k)),
-        (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreLoadMinus(c, k)),
-        (cell.clone(), cell.clone(), k.clone()).prop_map(|(a, b, k)| SOp::StoreCrossPlus(a, b, k)),
-        (cell, k).prop_map(|(c, k)| SOp::CmpImm(c, k)),
-    ]
+fn random_sop(rng: &mut SplitMix64) -> SOp {
+    let c = rng.index(CELLS);
+    let k = rng.below(18) as i64 - 9;
+    match rng.below(6) {
+        0 => SOp::Load(c),
+        1 => SOp::StoreImm(c, k),
+        2 => SOp::StoreLoadPlus(c, k),
+        3 => SOp::StoreLoadMinus(c, k),
+        4 => SOp::StoreCrossPlus(c, rng.index(CELLS), k),
+        _ => SOp::CmpImm(c, k),
+    }
 }
 
 fn build_function(ops: &[SOp]) -> Function {
@@ -217,35 +219,91 @@ fn run_program(f: &Function, init: [i64; CELLS], alg: Algorithm) -> (Option<i64>
     (ret, finals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// tm_mark + tm_optimize never change observable behaviour: same
-    /// return value, same final memory, on both the delegating and the
-    /// semantic algorithm.
-    #[test]
-    fn passes_preserve_semantics(
-        init in prop::array::uniform3(-20i64..20),
-        ops in prop::collection::vec(sop_strategy(), 1..25),
-    ) {
+/// tm_mark + tm_optimize never change observable behaviour: same
+/// return value, same final memory, on both the delegating and the
+/// semantic algorithm. Deterministic port of the proptest case.
+#[test]
+fn passes_preserve_semantics_deterministic() {
+    let mut rng = SplitMix64::new(0x1AC5);
+    for _ in 0..48 {
+        let init: [i64; CELLS] = std::array::from_fn(|_| rng.below(40) as i64 - 20);
+        let ops: Vec<SOp> = (0..1 + rng.index(24))
+            .map(|_| random_sop(&mut rng))
+            .collect();
         let plain = build_function(&ops);
         let mut passed = plain.clone();
         run_tm_passes(&mut passed);
         let baseline = run_program(&plain, init, Algorithm::NOrec);
         for alg in Algorithm::ALL {
-            prop_assert_eq!(run_program(&plain, init, alg), baseline.clone());
-            prop_assert_eq!(run_program(&passed, init, alg), baseline.clone());
+            assert_eq!(run_program(&plain, init, alg), baseline, "{alg}: plain");
+            assert_eq!(run_program(&passed, init, alg), baseline, "{alg}: passed");
         }
     }
+}
 
-    /// The passes never *increase* the barrier count.
-    #[test]
-    fn passes_never_add_barriers(
-        ops in prop::collection::vec(sop_strategy(), 1..25),
-    ) {
+/// The passes never *increase* the barrier count.
+#[test]
+fn passes_never_add_barriers_deterministic() {
+    let mut rng = SplitMix64::new(0xBA44);
+    for _ in 0..48 {
+        let ops: Vec<SOp> = (0..1 + rng.index(24))
+            .map(|_| random_sop(&mut rng))
+            .collect();
         let plain = build_function(&ops);
         let mut passed = plain.clone();
         run_tm_passes(&mut passed);
-        prop_assert!(passed.barrier_count() <= plain.barrier_count());
+        assert!(passed.barrier_count() <= plain.barrier_count());
+    }
+}
+
+/// The original proptest tier. Enable with the (off-by-default)
+/// `registry-deps` feature after uncommenting the proptest
+/// dev-dependency in Cargo.toml.
+#[cfg(feature = "registry-deps")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sop_strategy() -> impl Strategy<Value = SOp> {
+        let cell = 0..CELLS;
+        let k = -9i64..9;
+        prop_oneof![
+            cell.clone().prop_map(SOp::Load),
+            (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreImm(c, k)),
+            (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreLoadPlus(c, k)),
+            (cell.clone(), k.clone()).prop_map(|(c, k)| SOp::StoreLoadMinus(c, k)),
+            (cell.clone(), cell.clone(), k.clone())
+                .prop_map(|(a, b, k)| SOp::StoreCrossPlus(a, b, k)),
+            (cell, k).prop_map(|(c, k)| SOp::CmpImm(c, k)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn passes_preserve_semantics(
+            init in prop::array::uniform3(-20i64..20),
+            ops in prop::collection::vec(sop_strategy(), 1..25),
+        ) {
+            let plain = build_function(&ops);
+            let mut passed = plain.clone();
+            run_tm_passes(&mut passed);
+            let baseline = run_program(&plain, init, Algorithm::NOrec);
+            for alg in Algorithm::ALL {
+                prop_assert_eq!(run_program(&plain, init, alg), baseline.clone());
+                prop_assert_eq!(run_program(&passed, init, alg), baseline.clone());
+            }
+        }
+
+        #[test]
+        fn passes_never_add_barriers(
+            ops in prop::collection::vec(sop_strategy(), 1..25),
+        ) {
+            let plain = build_function(&ops);
+            let mut passed = plain.clone();
+            run_tm_passes(&mut passed);
+            prop_assert!(passed.barrier_count() <= plain.barrier_count());
+        }
     }
 }

@@ -4,10 +4,13 @@
 //! `inc`, `cmp`) and their sequential specification: every `read`
 //! returns the latest write plus the interleaving increments, and every
 //! `cmp` returns the relation applied to that same value. Single-
-//! threaded, every algorithm must be *exactly* this specification —
-//! proptest drives arbitrary operation sequences against a model.
+//! threaded, every algorithm must be *exactly* this specification.
+//!
+//! Two tiers share the same checker: an always-on deterministic tier
+//! driven by `SplitMix64` (runs offline in tier-1), and the original
+//! proptest suite behind the off-by-default `registry-deps` feature.
 
-use proptest::prelude::*;
+use semtm::core::util::SplitMix64;
 use semtm::{Algorithm, CmpOp, Stm, StmConfig};
 
 #[derive(Clone, Debug)]
@@ -21,17 +24,24 @@ enum Op {
 
 const REGISTERS: usize = 4;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let reg = 0..REGISTERS;
-    let val = -50i64..50;
-    let cmp_op = prop::sample::select(CmpOp::ALL.to_vec());
-    prop_oneof![
-        reg.clone().prop_map(Op::Read),
-        (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Write(r, v)),
-        (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Inc(r, v)),
-        (reg.clone(), cmp_op.clone(), val).prop_map(|(r, o, v)| Op::Cmp(r, o, v)),
-        (reg.clone(), cmp_op, reg).prop_map(|(a, o, b)| Op::CmpAddr(a, o, b)),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    let r = rng.index(REGISTERS);
+    let v = rng.below(100) as i64 - 50;
+    let o = CmpOp::ALL[rng.index(CmpOp::ALL.len())];
+    match rng.below(5) {
+        0 => Op::Read(r),
+        1 => Op::Write(r, v),
+        2 => Op::Inc(r, v),
+        3 => Op::Cmp(r, o, v),
+        _ => Op::CmpAddr(r, o, rng.index(REGISTERS)),
+    }
+}
+
+fn random_history(rng: &mut SplitMix64) -> ([i64; REGISTERS], Vec<usize>, Vec<Op>) {
+    let init: [i64; REGISTERS] = std::array::from_fn(|_| rng.below(40) as i64 - 20);
+    let tx_sizes: Vec<usize> = (0..1 + rng.index(5)).map(|_| 1 + rng.index(7)).collect();
+    let ops: Vec<Op> = (0..1 + rng.index(39)).map(|_| random_op(rng)).collect();
+    (init, tx_sizes, ops)
 }
 
 /// The §5 sequential specification, directly.
@@ -109,54 +119,25 @@ fn check_sequential_spec(alg: Algorithm, init: [i64; REGISTERS], tx_sizes: &[usi
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn snorec_matches_sequential_spec(
-        init in prop::array::uniform4(-20i64..20),
-        tx_sizes in prop::collection::vec(1usize..8, 1..6),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        check_sequential_spec(Algorithm::SNOrec, init, &tx_sizes, &ops);
+/// Deterministic tier: 64 random histories per algorithm, fixed seeds.
+#[test]
+fn all_algorithms_match_sequential_spec_deterministic() {
+    for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
+        let mut rng = SplitMix64::new(0x5EC5 + i as u64);
+        for _ in 0..64 {
+            let (init, tx_sizes, ops) = random_history(&mut rng);
+            check_sequential_spec(alg, init, &tx_sizes, &ops);
+        }
     }
+}
 
-    #[test]
-    fn stl2_matches_sequential_spec(
-        init in prop::array::uniform4(-20i64..20),
-        tx_sizes in prop::collection::vec(1usize..8, 1..6),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        check_sequential_spec(Algorithm::STl2, init, &tx_sizes, &ops);
-    }
-
-    #[test]
-    fn norec_matches_sequential_spec(
-        init in prop::array::uniform4(-20i64..20),
-        tx_sizes in prop::collection::vec(1usize..8, 1..6),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        check_sequential_spec(Algorithm::NOrec, init, &tx_sizes, &ops);
-    }
-
-    #[test]
-    fn tl2_matches_sequential_spec(
-        init in prop::array::uniform4(-20i64..20),
-        tx_sizes in prop::collection::vec(1usize..8, 1..6),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        check_sequential_spec(Algorithm::Tl2, init, &tx_sizes, &ops);
-    }
-
-    /// The RingSTM-filter fast path (extension A4) must be observation-
-    /// equivalent to plain S-NOrec on arbitrary histories.
-    #[test]
-    fn ring_filters_match_sequential_spec(
-        init in prop::array::uniform4(-20i64..20),
-        tx_sizes in prop::collection::vec(1usize..8, 1..6),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
-        // Same checker, but the Stm is built with filters on.
+/// The RingSTM-filter fast path (extension A4) must be observation-
+/// equivalent to plain S-NOrec on arbitrary histories.
+#[test]
+fn ring_filters_match_sequential_spec_deterministic() {
+    let mut rng = SplitMix64::new(0xF117);
+    for _ in 0..64 {
+        let (init, tx_sizes, ops) = random_history(&mut rng);
         let stm = Stm::new(
             StmConfig::new(Algorithm::SNOrec)
                 .heap_words(256)
@@ -169,15 +150,23 @@ proptest! {
         for &size in &tx_sizes {
             let chunk: Vec<Op> = ops[cursor..(cursor + size).min(ops.len())].to_vec();
             cursor += chunk.len();
-            if chunk.is_empty() { break; }
+            if chunk.is_empty() {
+                break;
+            }
             stm.atomic(|tx| {
                 for op in &chunk {
                     match *op {
-                        Op::Read(r) => { tx.read(addrs[r])?; }
+                        Op::Read(r) => {
+                            tx.read(addrs[r])?;
+                        }
                         Op::Write(r, v) => tx.write(addrs[r], v)?,
                         Op::Inc(r, d) => tx.inc(addrs[r], d)?,
-                        Op::Cmp(r, o, v) => { tx.cmp(addrs[r], o, v)?; }
-                        Op::CmpAddr(a, o, b) => { tx.cmp_addr(addrs[a], o, addrs[b])?; }
+                        Op::Cmp(r, o, v) => {
+                            tx.cmp(addrs[r], o, v)?;
+                        }
+                        Op::CmpAddr(a, o, b) => {
+                            tx.cmp_addr(addrs[a], o, addrs[b])?;
+                        }
                     }
                 }
                 Ok(())
@@ -188,18 +177,22 @@ proptest! {
                 model = m.regs;
             }
             for (r, addr) in addrs.iter().enumerate() {
-                prop_assert_eq!(stm.read_now(*addr), model[r], "register {}", r);
+                assert_eq!(stm.read_now(*addr), model[r], "register {r}");
             }
         }
     }
+}
 
-    /// All four algorithms agree with each other on arbitrary single-
-    /// threaded histories (they implement the same abstraction).
-    #[test]
-    fn algorithms_agree_pairwise(
-        init in prop::array::uniform4(-20i64..20),
-        ops in prop::collection::vec(op_strategy(), 1..30),
-    ) {
+/// All four algorithms agree with each other on arbitrary single-
+/// threaded histories (they implement the same abstraction).
+#[test]
+fn algorithms_agree_pairwise_deterministic() {
+    let mut rng = SplitMix64::new(0xA93E);
+    for _ in 0..64 {
+        let init: [i64; REGISTERS] = std::array::from_fn(|_| rng.below(40) as i64 - 20);
+        let ops: Vec<Op> = (0..1 + rng.index(29))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let mut finals: Vec<Vec<i64>> = Vec::new();
         for alg in Algorithm::ALL {
             let stm = Stm::new(StmConfig::new(alg).heap_words(256).orec_count(64));
@@ -207,11 +200,17 @@ proptest! {
             stm.atomic(|tx| {
                 for op in &ops {
                     match *op {
-                        Op::Read(r) => { tx.read(addrs[r])?; }
+                        Op::Read(r) => {
+                            tx.read(addrs[r])?;
+                        }
                         Op::Write(r, v) => tx.write(addrs[r], v)?,
                         Op::Inc(r, d) => tx.inc(addrs[r], d)?,
-                        Op::Cmp(r, o, v) => { tx.cmp(addrs[r], o, v)?; }
-                        Op::CmpAddr(a, o, b) => { tx.cmp_addr(addrs[a], o, addrs[b])?; }
+                        Op::Cmp(r, o, v) => {
+                            tx.cmp(addrs[r], o, v)?;
+                        }
+                        Op::CmpAddr(a, o, b) => {
+                            tx.cmp_addr(addrs[a], o, addrs[b])?;
+                        }
                     }
                 }
                 Ok(())
@@ -219,7 +218,69 @@ proptest! {
             finals.push(addrs.iter().map(|a| stm.read_now(*a)).collect());
         }
         for pair in finals.windows(2) {
-            prop_assert_eq!(&pair[0], &pair[1]);
+            assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+}
+
+/// The original proptest tier. Enable with the (off-by-default)
+/// `registry-deps` feature after uncommenting the proptest
+/// dev-dependency in Cargo.toml.
+#[cfg(feature = "registry-deps")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let reg = 0..REGISTERS;
+        let val = -50i64..50;
+        let cmp_op = prop::sample::select(CmpOp::ALL.to_vec());
+        prop_oneof![
+            reg.clone().prop_map(Op::Read),
+            (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Write(r, v)),
+            (reg.clone(), val.clone()).prop_map(|(r, v)| Op::Inc(r, v)),
+            (reg.clone(), cmp_op.clone(), val).prop_map(|(r, o, v)| Op::Cmp(r, o, v)),
+            (reg.clone(), cmp_op, reg).prop_map(|(a, o, b)| Op::CmpAddr(a, o, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn snorec_matches_sequential_spec(
+            init in prop::array::uniform4(-20i64..20),
+            tx_sizes in prop::collection::vec(1usize..8, 1..6),
+            ops in prop::collection::vec(op_strategy(), 1..40),
+        ) {
+            check_sequential_spec(Algorithm::SNOrec, init, &tx_sizes, &ops);
+        }
+
+        #[test]
+        fn stl2_matches_sequential_spec(
+            init in prop::array::uniform4(-20i64..20),
+            tx_sizes in prop::collection::vec(1usize..8, 1..6),
+            ops in prop::collection::vec(op_strategy(), 1..40),
+        ) {
+            check_sequential_spec(Algorithm::STl2, init, &tx_sizes, &ops);
+        }
+
+        #[test]
+        fn norec_matches_sequential_spec(
+            init in prop::array::uniform4(-20i64..20),
+            tx_sizes in prop::collection::vec(1usize..8, 1..6),
+            ops in prop::collection::vec(op_strategy(), 1..40),
+        ) {
+            check_sequential_spec(Algorithm::NOrec, init, &tx_sizes, &ops);
+        }
+
+        #[test]
+        fn tl2_matches_sequential_spec(
+            init in prop::array::uniform4(-20i64..20),
+            tx_sizes in prop::collection::vec(1usize..8, 1..6),
+            ops in prop::collection::vec(op_strategy(), 1..40),
+        ) {
+            check_sequential_spec(Algorithm::Tl2, init, &tx_sizes, &ops);
         }
     }
 }
