@@ -56,6 +56,13 @@
 //!   comparisons API-compatible.
 
 #![forbid(unsafe_code)]
+// The crate is 100% safe today (`forbid` above proves it). Should an
+// accelerator backend ever force an `unsafe` block in here, each
+// operation inside it must carry its own `unsafe { }` with a SAFETY
+// comment rather than inheriting the enclosing `unsafe fn`'s blanket —
+// deny the implicit inheritance now so that relaxing `forbid` later
+// cannot silently grant it.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod cm;

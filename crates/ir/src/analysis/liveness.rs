@@ -1,0 +1,151 @@
+//! Whole-function backward liveness, built on the worklist solver.
+//!
+//! This replaces the hand-rolled fixpoint loop the seed's `tm_optimize`
+//! carried inline; the pass now consumes this analysis and the solver
+//! guarantees the same fixpoint.
+
+use super::cfg::Cfg;
+use super::solver::{solve, DataflowProblem, Direction};
+use crate::ir::{BlockId, Function};
+
+/// One liveness bit per register.
+pub type LiveSet = Vec<bool>;
+
+struct LiveProblem {
+    num_regs: usize,
+}
+
+impl DataflowProblem for LiveProblem {
+    type Fact = LiveSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary_fact(&self) -> LiveSet {
+        vec![false; self.num_regs]
+    }
+
+    fn init_fact(&self) -> LiveSet {
+        vec![false; self.num_regs]
+    }
+
+    fn join(&self, into: &mut LiveSet, from: &LiveSet) -> bool {
+        let mut changed = false;
+        for (i, f) in into.iter_mut().zip(from) {
+            if *f && !*i {
+                *i = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer_block(&self, func: &Function, b: BlockId, fact: &mut LiveSet) {
+        let mut uses = Vec::new();
+        for inst in func.blocks[b].insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                fact[d as usize] = false;
+            }
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                fact[r as usize] = true;
+            }
+        }
+    }
+}
+
+/// The solved liveness analysis.
+pub struct Liveness {
+    /// `live_in[b]` = registers live on entry to block `b`.
+    pub live_in: Vec<LiveSet>,
+    /// `live_out[b]` = registers live on exit from block `b`.
+    pub live_out: Vec<LiveSet>,
+}
+
+impl Liveness {
+    /// Solve liveness for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Liveness {
+        let sol = solve(
+            func,
+            cfg,
+            &LiveProblem {
+                num_regs: func.num_regs as usize,
+            },
+        );
+        Liveness {
+            live_in: sol.entry,
+            live_out: sol.exit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, Inst, Operand};
+
+    #[test]
+    fn cross_block_use_keeps_register_live() {
+        let mut fb = FunctionBuilder::new("x", 1);
+        let v = fb.reg();
+        let next = fb.block("next");
+        fb.switch_to(0);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Br { target: next });
+        fb.switch_to(next);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(v)),
+        });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::compute(&f, &cfg);
+        assert!(live.live_out[0][v as usize]);
+        assert!(live.live_in[1][v as usize]);
+        assert!(live.live_in[0][0], "the address argument is live on entry");
+        assert!(!live.live_in[0][v as usize], "v is dead before its def");
+    }
+
+    #[test]
+    fn loop_carried_liveness_converges() {
+        // head: cond on r1; body adds to r1 and loops back.
+        let mut fb = FunctionBuilder::new("l", 1);
+        let acc = fb.reg();
+        let head = fb.block("head");
+        let body = fb.block("body");
+        let exit = fb.block("exit");
+        fb.switch_to(0);
+        fb.push(Inst::Mov {
+            dst: acc,
+            src: Operand::Imm(0),
+        });
+        fb.push(Inst::Br { target: head });
+        fb.switch_to(head);
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(0),
+            then_to: body,
+            else_to: exit,
+        });
+        fb.switch_to(body);
+        fb.push(Inst::Bin {
+            op: crate::ir::BinOp::Add,
+            dst: acc,
+            a: Operand::Reg(acc),
+            b: Operand::Imm(1),
+        });
+        fb.push(Inst::Br { target: head });
+        fb.switch_to(exit);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(acc)),
+        });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::compute(&f, &cfg);
+        assert!(live.live_in[head][acc as usize], "loop-carried accumulator");
+        assert!(live.live_out[body][acc as usize]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Whole-function dataflow analysis for the IR.
+//!
+//! The paper's GCC passes lean on GIMPLE's existing dataflow machinery;
+//! the seed reproduction only tracked facts within one basic block.
+//! This module is the reusable substrate that lifts everything to whole
+//! functions:
+//!
+//! * [`cfg`] — successor/predecessor maps, reverse postorder, and
+//!   dominators;
+//! * [`solver`] — a generic worklist solver for forward and backward
+//!   problems;
+//! * [`reaching`] — whole-function reaching definitions (forward);
+//! * [`liveness`] — whole-function liveness (backward);
+//! * [`patterns`] — the cross-block `cmp`/`inc` matchers built on
+//!   reaching definitions, with explicit decline reasons;
+//! * [`verify`] — the strict IR verifier (definite assignment, region
+//!   balance, structure) run around every pass.
+//!
+//! [`crate::passes`] consumes [`patterns`] and [`liveness`];
+//! [`crate::lint`] consumes everything.
+
+pub mod cfg;
+pub mod liveness;
+pub mod patterns;
+pub mod reaching;
+pub mod solver;
+pub mod verify;
+
+pub use cfg::Cfg;
+pub use liveness::Liveness;
+pub use patterns::{CmpMatch, Decline, IncMatch, LoadOrigin, PatternCtx};
+pub use reaching::{DefId, DefSite, Pos, ReachingDefs};
+pub use solver::{solve, DataflowProblem, Direction, Solution};
+pub use verify::{verify, VerifyError};

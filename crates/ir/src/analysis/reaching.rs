@@ -1,0 +1,287 @@
+//! Whole-function reaching definitions, built on the worklist solver.
+//!
+//! Every register is given a pseudo-definition at the function entry
+//! (arguments arrive there; all other registers start at zero in the
+//! interpreter), so the reaching set of a register at a reachable
+//! position is never empty. A position's operand is *load-originated*
+//! exactly when its single reaching definition is a `TmLoad` — the
+//! cross-block generalisation of the paper's in-block origin tracking.
+
+use super::cfg::Cfg;
+use super::solver::{solve, DataflowProblem, Direction};
+use crate::ir::{BlockId, Function, Operand, Reg};
+
+/// Index into [`ReachingDefs::defs`].
+pub type DefId = u32;
+
+/// A (block, instruction index) program position.
+pub type Pos = (BlockId, usize);
+
+/// Where a definition comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DefSite {
+    /// The register's value at function entry (argument or implicit
+    /// zero).
+    Entry(Reg),
+    /// The instruction at this position defines the register.
+    Inst(BlockId, usize),
+}
+
+/// Per-register sets of reaching definitions: `facts[r]` is a sorted
+/// `Vec<DefId>`.
+type Fact = Vec<Vec<DefId>>;
+
+struct RdProblem<'a> {
+    num_regs: usize,
+    /// `def_at[b][i]` = the `DefId` of the definition made by
+    /// instruction `(b, i)`, if any.
+    def_at: &'a [Vec<Option<DefId>>],
+    entry_defs: &'a [DefId],
+    defs: &'a [DefSite],
+}
+
+fn insert_sorted(v: &mut Vec<DefId>, id: DefId) -> bool {
+    match v.binary_search(&id) {
+        Ok(_) => false,
+        Err(i) => {
+            v.insert(i, id);
+            true
+        }
+    }
+}
+
+impl DataflowProblem for RdProblem<'_> {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> Fact {
+        let mut f = vec![Vec::new(); self.num_regs];
+        for &id in self.entry_defs {
+            let DefSite::Entry(r) = self.defs[id as usize] else {
+                unreachable!("entry_defs holds Entry sites only");
+            };
+            f[r as usize].push(id);
+        }
+        f
+    }
+
+    fn init_fact(&self) -> Fact {
+        vec![Vec::new(); self.num_regs]
+    }
+
+    fn join(&self, into: &mut Fact, from: &Fact) -> bool {
+        let mut changed = false;
+        for (into_r, from_r) in into.iter_mut().zip(from) {
+            for &id in from_r {
+                changed |= insert_sorted(into_r, id);
+            }
+        }
+        changed
+    }
+
+    fn transfer_block(&self, func: &Function, b: BlockId, fact: &mut Fact) {
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                let id = self.def_at[b][i].expect("defining instruction has a DefId");
+                fact[d as usize] = vec![id];
+            }
+        }
+    }
+}
+
+/// The solved reaching-definitions analysis, with position-level
+/// queries.
+pub struct ReachingDefs {
+    /// All definition sites; index with a [`DefId`].
+    pub defs: Vec<DefSite>,
+    /// `before[b][i]` = per-register reaching sets immediately before
+    /// executing instruction `(b, i)`; `before[b]` has one extra entry
+    /// for the block end.
+    before: Vec<Vec<Fact>>,
+}
+
+impl ReachingDefs {
+    /// Solve reaching definitions for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> ReachingDefs {
+        let num_regs = func.num_regs as usize;
+        let mut defs: Vec<DefSite> = Vec::new();
+        let mut entry_defs: Vec<DefId> = Vec::new();
+        for r in 0..func.num_regs {
+            entry_defs.push(defs.len() as DefId);
+            defs.push(DefSite::Entry(r));
+        }
+        let mut def_at: Vec<Vec<Option<DefId>>> = Vec::with_capacity(func.blocks.len());
+        for (b, block) in func.blocks.iter().enumerate() {
+            let mut ids = Vec::with_capacity(block.insts.len());
+            for (i, inst) in block.insts.iter().enumerate() {
+                if inst.def().is_some() {
+                    ids.push(Some(defs.len() as DefId));
+                    defs.push(DefSite::Inst(b, i));
+                } else {
+                    ids.push(None);
+                }
+            }
+            def_at.push(ids);
+        }
+
+        let problem = RdProblem {
+            num_regs,
+            def_at: &def_at,
+            entry_defs: &entry_defs,
+            defs: &defs,
+        };
+        let sol = solve(func, cfg, &problem);
+
+        // Replay each block to recover position-level facts.
+        let mut before = Vec::with_capacity(func.blocks.len());
+        for (b, block) in func.blocks.iter().enumerate() {
+            let mut cur = sol.entry[b].clone();
+            let mut per_inst = Vec::with_capacity(block.insts.len() + 1);
+            for (i, inst) in block.insts.iter().enumerate() {
+                per_inst.push(cur.clone());
+                if let Some(d) = inst.def() {
+                    cur[d as usize] = vec![def_at[b][i].unwrap()];
+                }
+            }
+            per_inst.push(cur);
+            before.push(per_inst);
+        }
+        ReachingDefs { defs, before }
+    }
+
+    /// The definitions of `reg` reaching the point just before
+    /// position `pos`.
+    pub fn reaching(&self, pos: Pos, reg: Reg) -> &[DefId] {
+        &self.before[pos.0][pos.1][reg as usize]
+    }
+
+    /// The single definition of `reg` reaching `pos`, if there is
+    /// exactly one.
+    pub fn unique_def(&self, pos: Pos, reg: Reg) -> Option<DefSite> {
+        match self.reaching(pos, reg) {
+            [one] => Some(self.defs[*one as usize]),
+            _ => None,
+        }
+    }
+
+    /// Do `a` at `pa` and `b` at `pb` denote the same value by
+    /// reaching-definition identity? Immediates compare by value;
+    /// registers must be the same register with identical (non-empty)
+    /// reaching sets. This replaces the seed's purely syntactic
+    /// `same_address` check — a register redefined between the two
+    /// positions yields different reaching sets and is rejected.
+    ///
+    /// Note: set equality alone is not loop-proof (a definition inside
+    /// a loop body can reach both positions); pattern matching pairs
+    /// this with a [`super::patterns`] path scan that rejects any
+    /// intervening redefinition.
+    pub fn operand_identical(&self, a: Operand, pa: Pos, b: Operand, pb: Pos) -> bool {
+        match (a, b) {
+            (Operand::Imm(x), Operand::Imm(y)) => x == y,
+            (Operand::Reg(x), Operand::Reg(y)) => {
+                x == y && !self.reaching(pa, x).is_empty() && {
+                    self.reaching(pa, x) == self.reaching(pb, y)
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, Inst, Operand};
+
+    #[test]
+    fn entry_defs_reach_until_killed() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let r = fb.reg();
+        fb.push(Inst::Mov {
+            dst: r,
+            src: Operand::Reg(0),
+        });
+        fb.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(9),
+        });
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(r)),
+        });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        assert_eq!(rd.unique_def((0, 0), 0), Some(DefSite::Entry(0)));
+        assert_eq!(rd.unique_def((0, 2), 0), Some(DefSite::Inst(0, 1)));
+        assert_eq!(rd.unique_def((0, 2), r), Some(DefSite::Inst(0, 0)));
+    }
+
+    #[test]
+    fn joins_merge_definitions() {
+        // r1 defined differently on two arms; the join sees both.
+        let mut fb = FunctionBuilder::new("j", 1);
+        let r = fb.reg();
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.switch_to(0);
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(0),
+            then_to: t,
+            else_to: e,
+        });
+        fb.switch_to(t);
+        fb.push(Inst::Mov {
+            dst: r,
+            src: Operand::Imm(1),
+        });
+        fb.push(Inst::Br { target: j });
+        fb.switch_to(e);
+        fb.push(Inst::Mov {
+            dst: r,
+            src: Operand::Imm(2),
+        });
+        fb.push(Inst::Br { target: j });
+        fb.switch_to(j);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(r)),
+        });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        assert_eq!(rd.reaching((3, 0), r).len(), 2);
+        assert_eq!(rd.unique_def((3, 0), r), None);
+        assert_eq!(rd.unique_def((1, 1), r), Some(DefSite::Inst(1, 0)));
+    }
+
+    #[test]
+    fn operand_identity_rejects_redefinition() {
+        let mut fb = FunctionBuilder::new("s", 1);
+        let v = fb.reg();
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Bin {
+            op: crate::ir::BinOp::Add,
+            dst: 0,
+            a: Operand::Reg(0),
+            b: Operand::Imm(8),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(v),
+        });
+        fb.push(Inst::Ret { val: None });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let r0 = Operand::Reg(0);
+        assert!(!rd.operand_identical(r0, (0, 0), r0, (0, 2)));
+        assert!(rd.operand_identical(r0, (0, 0), r0, (0, 1)));
+        assert!(rd.operand_identical(Operand::Imm(3), (0, 0), Operand::Imm(3), (0, 2)));
+    }
+}

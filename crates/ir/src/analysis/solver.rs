@@ -1,0 +1,181 @@
+//! A generic worklist solver for forward and backward dataflow problems.
+//!
+//! The solver is deliberately block-granular: a problem supplies a
+//! per-block transfer function and a join, and the solver iterates to a
+//! fixpoint over a worklist seeded in reverse postorder (forward) or
+//! postorder (backward). Position-level facts, when a client needs them,
+//! are recovered by replaying the block transfer instruction by
+//! instruction from the solved block-entry fact — see
+//! [`super::ReachingDefs`] and [`super::Liveness`].
+//!
+//! All blocks participate, including unreachable ones: the legacy
+//! liveness loop in `tm_optimize` visited every block, and keeping that
+//! behaviour makes the rewrite on top of this solver a strict
+//! refactoring.
+
+use super::cfg::Cfg;
+use crate::ir::{BlockId, Function};
+
+/// Direction of a dataflow problem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from the entry towards returns (e.g. reaching
+    /// definitions).
+    Forward,
+    /// Facts flow from returns towards the entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow problem over one function.
+pub trait DataflowProblem {
+    /// The lattice element propagated between blocks.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: the function entry for forward
+    /// problems, every exit (return) for backward problems.
+    fn boundary_fact(&self) -> Self::Fact;
+
+    /// The optimistic initial fact given to every block before
+    /// iteration (the lattice's identity element for [`Self::join`]).
+    fn init_fact(&self) -> Self::Fact;
+
+    /// Merge `from` into `into`; return whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Apply the whole block `b` to `fact`, in the problem's direction
+    /// (first-to-last instruction for forward, last-to-first for
+    /// backward).
+    fn transfer_block(&self, func: &Function, b: BlockId, fact: &mut Self::Fact);
+}
+
+/// The solved facts, indexed by block. `entry`/`exit` are in *program
+/// order*: `entry[b]` holds at the start of block `b` and `exit[b]` at
+/// its end, for both directions.
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    /// Fact at the start of each block.
+    pub entry: Vec<F>,
+    /// Fact at the end of each block.
+    pub exit: Vec<F>,
+}
+
+/// Run `problem` to a fixpoint over `func`.
+pub fn solve<P: DataflowProblem>(func: &Function, cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
+    let n = func.blocks.len();
+    let forward = problem.direction() == Direction::Forward;
+    // `input[b]` is the fact on the side facts arrive from (block start
+    // for forward, block end for backward).
+    let mut input: Vec<P::Fact> = vec![problem.init_fact(); n];
+    let mut output: Vec<P::Fact> = vec![problem.init_fact(); n];
+
+    if forward {
+        problem.join(&mut input[0], &problem.boundary_fact());
+    } else {
+        // Backward boundary: blocks ending in `Ret` (no successors).
+        for (b, block) in func.blocks.iter().enumerate() {
+            if block.successors().is_empty() {
+                problem.join(&mut input[b], &problem.boundary_fact());
+            }
+        }
+    }
+
+    // Seed the worklist in an order that converges quickly: reverse
+    // postorder for forward problems, postorder for backward ones, with
+    // unreachable blocks appended so they are processed too.
+    let mut order: Vec<BlockId> = if forward {
+        cfg.rpo.clone()
+    } else {
+        cfg.rpo.iter().rev().copied().collect()
+    };
+    for b in 0..n {
+        if !cfg.reachable(b) {
+            order.push(b);
+        }
+    }
+
+    let mut on_list = vec![true; n];
+    let mut work: std::collections::VecDeque<BlockId> = order.into_iter().collect();
+    while let Some(b) = work.pop_front() {
+        on_list[b] = false;
+        let mut fact = input[b].clone();
+        problem.transfer_block(func, b, &mut fact);
+        if fact == output[b] {
+            continue;
+        }
+        output[b] = fact;
+        let dependents: &[BlockId] = if forward {
+            &cfg.succs[b]
+        } else {
+            &cfg.preds[b]
+        };
+        for &d in dependents {
+            if problem.join(&mut input[d], &output[b]) && !on_list[d] {
+                on_list[d] = true;
+                work.push_back(d);
+            }
+        }
+    }
+
+    if forward {
+        Solution {
+            entry: input,
+            exit: output,
+        }
+    } else {
+        Solution {
+            entry: output,
+            exit: input,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, Inst, Operand};
+
+    /// A toy forward problem: "may reach this block" as a bool.
+    struct Reachability;
+    impl DataflowProblem for Reachability {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary_fact(&self) -> bool {
+            true
+        }
+        fn init_fact(&self) -> bool {
+            false
+        }
+        fn join(&self, into: &mut bool, from: &bool) -> bool {
+            let new = *into || *from;
+            let changed = new != *into;
+            *into = new;
+            changed
+        }
+        fn transfer_block(&self, _f: &Function, _b: BlockId, _fact: &mut bool) {}
+    }
+
+    #[test]
+    fn forward_reachability_matches_cfg() {
+        let mut fb = FunctionBuilder::new("r", 1);
+        let next = fb.block("next");
+        let dead = fb.block("dead");
+        fb.switch_to(0);
+        fb.push(Inst::Br { target: next });
+        fb.switch_to(next);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(0)),
+        });
+        fb.switch_to(dead);
+        fb.push(Inst::Ret { val: None });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let sol = solve(&f, &cfg, &Reachability);
+        assert!(sol.entry[0] && sol.entry[1]);
+        assert!(!sol.entry[2], "dead block never becomes reachable");
+    }
+}

@@ -1,0 +1,299 @@
+//! The strict IR verifier.
+//!
+//! [`verify`] runs before and after every pass (see
+//! [`crate::passes::run_tm_passes_checked`]) and enforces what the
+//! structural [`Function::validate`] cannot see on its own:
+//!
+//! * **definite assignment** — along *every* path from the entry, each
+//!   register is written before it is read (arguments count as written);
+//!   a must-analysis with intersection join over the solver;
+//! * **region consistency** — every block is entered at one well-defined
+//!   atomic-region depth, `tmend` never underflows, and no path returns
+//!   while a region is still open (the interpreter would raise
+//!   `UnbalancedEnd` at runtime; the verifier rejects it statically);
+//! * the structural checks themselves (terminator placement, branch
+//!   targets, register bounds) by delegating to `validate`.
+
+use super::cfg::Cfg;
+use super::solver::{solve, DataflowProblem, Direction};
+use crate::ir::{BlockId, Function, Inst};
+
+/// A verifier failure, locating the offending instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Block containing the problem (when attributable).
+    pub block: Option<BlockId>,
+    /// Instruction index within the block (when attributable).
+    pub inst: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, "block {b}")?;
+            if let Some(i) = self.inst {
+                write!(f, ", inst {i}")?;
+            }
+            write!(f, ": ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Definite-assignment facts: one "definitely written" bit per
+/// register. Must-analysis ⇒ intersection join, all-true top.
+struct DefiniteAssign {
+    num_regs: usize,
+    num_args: usize,
+}
+
+impl DataflowProblem for DefiniteAssign {
+    type Fact = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> Vec<bool> {
+        (0..self.num_regs).map(|r| r < self.num_args).collect()
+    }
+
+    fn init_fact(&self) -> Vec<bool> {
+        vec![true; self.num_regs]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, from: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (i, f) in into.iter_mut().zip(from) {
+            if *i && !*f {
+                *i = false;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer_block(&self, func: &Function, b: BlockId, fact: &mut Vec<bool>) {
+        for inst in &func.blocks[b].insts {
+            if let Some(d) = inst.def() {
+                fact[d as usize] = true;
+            }
+        }
+    }
+}
+
+/// Verify `func`; `Ok(())` means the passes and the interpreter can
+/// rely on all invariants above.
+pub fn verify(func: &Function) -> Result<(), VerifyError> {
+    // Structural layer first (terminators, branch targets, bounds).
+    func.validate().map_err(|message| VerifyError {
+        func: func.name.clone(),
+        block: None,
+        inst: None,
+        message,
+    })?;
+    let cfg = Cfg::new(func);
+    check_definite_assignment(func, &cfg)?;
+    check_region_balance(func, &cfg)?;
+    Ok(())
+}
+
+fn check_definite_assignment(func: &Function, cfg: &Cfg) -> Result<(), VerifyError> {
+    let problem = DefiniteAssign {
+        num_regs: func.num_regs as usize,
+        num_args: func.num_args as usize,
+    };
+    let sol = solve(func, cfg, &problem);
+    let mut uses = Vec::new();
+    for &b in &cfg.rpo {
+        let mut assigned = sol.entry[b].clone();
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                if !assigned[r as usize] {
+                    return Err(VerifyError {
+                        func: func.name.clone(),
+                        block: Some(b),
+                        inst: Some(i),
+                        message: format!(
+                            "register r{r} may be read before it is written \
+                             (some path from the entry reaches this use without a def)"
+                        ),
+                    });
+                }
+            }
+            if let Some(d) = inst.def() {
+                assigned[d as usize] = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Propagate atomic-region depth along the CFG; every reachable block
+/// must be entered at exactly one depth.
+fn check_region_balance(func: &Function, cfg: &Cfg) -> Result<(), VerifyError> {
+    let n = func.blocks.len();
+    let mut depth_in: Vec<Option<u32>> = vec![None; n];
+    depth_in[0] = Some(0);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut depth = depth_in[b].expect("queued blocks have a depth");
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            match inst {
+                Inst::TmBegin => depth += 1,
+                Inst::TmEnd => {
+                    if depth == 0 {
+                        return Err(VerifyError {
+                            func: func.name.clone(),
+                            block: Some(b),
+                            inst: Some(i),
+                            message: "tmend outside any atomic region".into(),
+                        });
+                    }
+                    depth -= 1;
+                }
+                Inst::Ret { .. } if depth != 0 => {
+                    return Err(VerifyError {
+                        func: func.name.clone(),
+                        block: Some(b),
+                        inst: Some(i),
+                        message: format!("return while {depth} atomic region(s) are still open"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for &s in &cfg.succs[b] {
+            match depth_in[s] {
+                None => {
+                    depth_in[s] = Some(depth);
+                    work.push(s);
+                }
+                Some(d) if d != depth => {
+                    return Err(VerifyError {
+                        func: func.name.clone(),
+                        block: Some(s),
+                        inst: None,
+                        message: format!(
+                            "inconsistent atomic-region depth at join: \
+                             entered at depth {d} and at depth {depth}"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    fn verify_src(src: &str) -> Result<(), VerifyError> {
+        verify(&parse_function(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_all_builtin_programs() {
+        for f in [
+            crate::programs::hashtable_op(),
+            crate::programs::vacation_reserve(),
+            crate::programs::bank_transfer(),
+            crate::programs::cross_block_guard(),
+        ] {
+            verify(&f).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_maybe_uninitialized_use() {
+        let e = verify_src(
+            r"
+func f(1) {
+entry:
+  condbr r0, set, use
+set:
+  r1 = const 1
+  br use
+use:
+  ret r1
+}
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("r1"), "{e}");
+        assert!(e.message.contains("before it is written"), "{e}");
+    }
+
+    #[test]
+    fn accepts_all_paths_assigned() {
+        verify_src(
+            r"
+func f(1) {
+entry:
+  condbr r0, a, b
+a:
+  r1 = const 1
+  br out
+b:
+  r1 = const 2
+  br out
+out:
+  ret r1
+}
+",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unbalanced_end() {
+        let e = verify_src("func f(0) {\nentry:\n  tmend\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("outside any atomic region"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_inside_region() {
+        let e = verify_src("func f(0) {\nentry:\n  tmbegin\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("still open"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depth() {
+        // `open` (depth 1) is the else-target so the DFS walks it first;
+        // `plain` then arrives at the join at depth 0 and trips the
+        // consistency check. (With the other order the walk reports the
+        // join's tmend as an underflow instead — also a rejection, but
+        // this test pins the join diagnostic.)
+        let e = verify_src(
+            r"
+func f(1) {
+entry:
+  condbr r0, plain, open
+open:
+  tmbegin
+  br join
+plain:
+  br join
+join:
+  tmend
+  ret
+}
+",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("inconsistent"), "{e}");
+    }
+}

@@ -1,0 +1,115 @@
+//! `semlint` — lint IR programs for semantic-TM misuse.
+//!
+//! ```text
+//! semlint [OPTIONS] [FILE.ir ...]
+//!
+//! Options:
+//!   --builtin   lint the kernels embedded in the crate (programs/*.ir)
+//!   --oracle    run the differential pass-equivalence oracle and print
+//!               the per-kernel barrier reduction
+//!   --rules     print the rule catalogue and exit
+//!   -h, --help  print this help
+//! ```
+//!
+//! Exit status is 1 when any `error`-severity diagnostic is emitted, a
+//! file fails to parse, or the oracle finds a divergence; 0 otherwise.
+//! Diagnostics print as `file:line:col: severity[RULE] message`.
+
+use semtm_ir::lint::{lint_function, Severity, RULES};
+use semtm_ir::oracle::run_differential_oracle;
+use semtm_ir::parser::parse_function_spanned;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: semlint [--builtin] [--oracle] [--rules] [FILE.ir ...]";
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut builtin = false;
+    let mut oracle = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--builtin" => builtin = true,
+            "--oracle" => oracle = true,
+            "--rules" => {
+                for (id, sev, summary) in RULES {
+                    println!("{id} ({sev}): {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("semlint: unknown option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() && !builtin && !oracle {
+        eprintln!("semlint: nothing to do\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+
+    // Sources to lint: files from disk plus (optionally) the embedded
+    // kernels.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if builtin {
+        for (path, src) in semtm_ir::programs::sources() {
+            sources.push((path.to_string(), src.to_string()));
+        }
+    }
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(src) => sources.push((file.clone(), src)),
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for (file, src) in &sources {
+        match parse_function_spanned(src) {
+            Ok((func, map)) => {
+                let diags = lint_function(&func, Some(&map));
+                for d in &diags {
+                    println!("{}", d.render(file));
+                    if d.severity == Severity::Error {
+                        failed = true;
+                    }
+                }
+                if diags.is_empty() {
+                    println!("{file}: {} clean", func.name);
+                }
+            }
+            Err(e) => {
+                println!("{file}:{}:{}: error[parse] {}", e.line, e.col, e.message);
+                failed = true;
+            }
+        }
+    }
+
+    if oracle {
+        match run_differential_oracle() {
+            Ok(reports) => {
+                for r in &reports {
+                    println!("oracle: {r}");
+                }
+            }
+            Err(e) => {
+                eprintln!("oracle: FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,9 +14,9 @@
 //!   and [`Inst::TmInc`] (`_ITM_SW`) — which only the passes introduce.
 //!
 //! Unlike real GIMPLE we use mutable registers rather than SSA; the
-//! pattern matcher compensates by tracking *reaching definitions within a
-//! basic block*, which corresponds to the paper's observation that the
-//! matched expressions "usually reside in the same basic block".
+//! pattern matcher compensates by tracking whole-function *reaching
+//! definitions* (see [`crate::analysis`]), so the paper's patterns are
+//! found even when the load and its use straddle basic blocks.
 
 use semtm_core::CmpOp;
 
@@ -302,13 +302,20 @@ pub struct Function {
 
 impl Function {
     /// Structural sanity checks: branch targets exist, every block ends
-    /// in a terminator, registers are within bounds, and `TmBegin` /
-    /// `TmEnd` are balanced along every path (checked dynamically by the
-    /// interpreter; statically we require region-per-block-range
-    /// consistency only loosely).
+    /// in a terminator (and terminators appear nowhere else), registers
+    /// are within bounds, and the argument count fits the register
+    /// count. Path-sensitive properties — definite assignment and
+    /// atomic-region balance — are the strict verifier's job
+    /// ([`crate::analysis::verify`]), which also runs these checks.
     pub fn validate(&self) -> Result<(), String> {
         if self.blocks.is_empty() {
             return Err(format!("{}: no blocks", self.name));
+        }
+        if self.num_args > self.num_regs {
+            return Err(format!(
+                "{}: {} arguments do not fit in {} registers",
+                self.name, self.num_args, self.num_regs
+            ));
         }
         for (bi, b) in self.blocks.iter().enumerate() {
             match b.insts.last() {
@@ -507,8 +514,11 @@ impl FunctionBuilder {
         self.func.blocks[self.current].insts.push(inst);
     }
 
-    /// Finish, validating the function.
+    /// Finish building. In debug builds the function is validated and an
+    /// invalid one panics; release builds skip the check (the strict
+    /// verifier still runs around every pass).
     pub fn build(self) -> Function {
+        #[cfg(debug_assertions)]
         self.func
             .validate()
             .unwrap_or_else(|e| panic!("invalid IR: {e}"));
@@ -583,6 +593,21 @@ mod tests {
             }],
         };
         assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_args_exceeding_registers() {
+        let f = Function {
+            name: "bad".into(),
+            num_args: 3,
+            num_regs: 1,
+            blocks: vec![Block {
+                label: "entry".into(),
+                insts: vec![Inst::Ret { val: None }],
+            }],
+        };
+        let e = f.validate().unwrap_err();
+        assert!(e.contains("do not fit"), "{e}");
     }
 
     #[test]

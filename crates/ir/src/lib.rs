@@ -16,20 +16,35 @@
 //! * [`abi`] — the Table 2 ABI mapping;
 //! * [`interp`] — a transactional interpreter executing IR against a
 //!   [`semtm_core::Stm`], with per-barrier dispatch accounting;
-//! * [`programs`] — the Figure-2 kernels (hashtable, vacation, bank)
-//!   written in classical TM style for the passes to transform.
+//! * [`programs`] — the Figure-2 kernels (hashtable, vacation, bank,
+//!   cross-block guard) written in classical TM style for the passes to
+//!   transform, checked in as `programs/*.ir`;
+//! * [`analysis`] — the whole-function dataflow framework (CFG +
+//!   dominators, worklist solver, reaching definitions, liveness,
+//!   cross-block pattern matching, strict IR verifier) the passes and
+//!   lints are built on;
+//! * [`lint`] — the `semlint` semantic-misuse diagnostics (rules
+//!   `SL000`–`SL005`), also available as the `semlint` binary;
+//! * [`oracle`] — the differential-testing oracle asserting the passes
+//!   preserve observable behaviour on NOrec and S-NOrec.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abi;
+pub mod analysis;
 pub mod interp;
 pub mod ir;
+pub mod lint;
+pub mod oracle;
 pub mod parser;
 pub mod passes;
 pub mod programs;
 
+pub use analysis::{verify, Cfg, Liveness, ReachingDefs, VerifyError};
 pub use interp::{ExecError, Interp};
 pub use ir::{Block, BlockId, Function, FunctionBuilder, Inst, Operand, Reg};
-pub use parser::{parse_function, ParseError};
-pub use passes::{run_tm_passes, tm_mark, tm_optimize, PassReport};
+pub use lint::{lint_function, Diagnostic, Severity};
+pub use oracle::{run_differential_oracle, DiffReport, OracleError};
+pub use parser::{parse_function, parse_function_spanned, ParseError, SourceMap, Span};
+pub use passes::{run_tm_passes, run_tm_passes_checked, tm_mark, tm_optimize, PassReport};

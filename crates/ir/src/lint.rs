@@ -1,0 +1,591 @@
+//! `semlint`: semantic-misuse diagnostics for IR programs.
+//!
+//! The paper's semantic builtins shift work from the STM runtime to the
+//! compiler — and with that shift comes a new class of *static* misuse
+//! that a runtime can no longer catch. This module checks for them on
+//! whole functions, using the [`crate::analysis`] framework:
+//!
+//! | rule | severity | meaning |
+//! |-------|---------|---------|
+//! | SL000 | error   | the strict IR verifier rejected the function |
+//! | SL001 | error   | transactional read of an address after `_ITM_SW` in the same region (the deferred semantic increment is not forwarded to reads) |
+//! | SL002 | warning | non-transactional access to an address also accessed inside an atomic region (privatization hazard) |
+//! | SL003 | info    | a `cmp`/`inc` pattern was *almost* promotable; reports why the matcher declined |
+//! | SL004 | warning | duplicate transactional load of the same address with no intervening write (pays a second validation for the same value) |
+//! | SL005 | warning | a register definition whose value is never used (dead store) |
+//!
+//! Diagnostics carry the instruction position and, when the function
+//! came from [`crate::parser::parse_function_spanned`], the source
+//! line/column. Only `error`-severity findings should fail a build;
+//! `warning`s describe performance or robustness smells the `tm_mark` /
+//! `tm_optimize` pipeline usually removes.
+
+use crate::analysis::{verify, Cfg, CmpMatch, Decline, Liveness, PatternCtx, Pos, ReachingDefs};
+use crate::ir::{Function, Inst, Operand};
+use crate::parser::{SourceMap, Span};
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Definitely wrong; `semlint` exits nonzero.
+    Error,
+    /// Suspicious or wasteful, but executable.
+    Warning,
+    /// An observation (e.g. a missed-promotion explanation).
+    Info,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`SL000`..`SL005`).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Function the finding is in.
+    pub func: String,
+    /// Instruction position, when attributable.
+    pub pos: Option<Pos>,
+    /// Source span, when the function carries a [`SourceMap`].
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as `file:line:col: severity[RULE] message` (falling back
+    /// to block/instruction coordinates without a span).
+    pub fn render(&self, file: &str) -> String {
+        match (self.span, self.pos) {
+            (Some(s), _) => format!(
+                "{file}:{}:{}: {}[{}] {}",
+                s.line, s.col, self.severity, self.rule, self.message
+            ),
+            (None, Some((b, i))) => format!(
+                "{file}: {} (block {b}, inst {i}): {}[{}] {}",
+                self.func, self.severity, self.rule, self.message
+            ),
+            (None, None) => format!(
+                "{file}: {}: {}[{}] {}",
+                self.func, self.severity, self.rule, self.message
+            ),
+        }
+    }
+}
+
+/// Rule catalogue: `(id, severity, summary)` — also printed by
+/// `semlint --rules`.
+pub const RULES: &[(&str, Severity, &str)] = &[
+    (
+        "SL000",
+        Severity::Error,
+        "function rejected by the strict IR verifier",
+    ),
+    (
+        "SL001",
+        Severity::Error,
+        "transactional read of an address after _ITM_SW in the same atomic region",
+    ),
+    (
+        "SL002",
+        Severity::Warning,
+        "non-transactional access to an address also accessed inside an atomic region",
+    ),
+    (
+        "SL003",
+        Severity::Info,
+        "cmp/inc pattern close to promotable; explains why the matcher declined",
+    ),
+    (
+        "SL004",
+        Severity::Warning,
+        "duplicate transactional load of the same address with no intervening write",
+    ),
+    (
+        "SL005",
+        Severity::Warning,
+        "register definition whose value is never used (dead store)",
+    ),
+];
+
+/// The address operands a barrier instruction dereferences.
+fn addresses(inst: &Inst) -> Vec<Operand> {
+    match *inst {
+        Inst::TmLoad { addr, .. }
+        | Inst::TmStore { addr, .. }
+        | Inst::TmCmpVal { addr, .. }
+        | Inst::TmInc { addr, .. } => vec![addr],
+        Inst::TmCmpAddr { a, b, .. } => vec![a, b],
+        _ => vec![],
+    }
+}
+
+fn is_mem_read(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::TmLoad { .. } | Inst::TmCmpVal { .. } | Inst::TmCmpAddr { .. }
+    )
+}
+
+/// Lint one function. Pass the [`SourceMap`] from
+/// [`crate::parser::parse_function_spanned`] to get `line:col` spans on
+/// the diagnostics; `None` falls back to block/instruction coordinates.
+pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic> {
+    let spanned =
+        |pos: Option<Pos>, rule: &'static str, severity: Severity, message: String| Diagnostic {
+            rule,
+            severity,
+            func: func.name.clone(),
+            pos,
+            span: pos.and_then(|(b, i)| map.and_then(|m| m.span(b, i))),
+            message,
+        };
+
+    // SL000: everything below assumes a verified function.
+    if let Err(e) = verify(func) {
+        let pos = e.block.map(|b| (b, e.inst.unwrap_or(0)));
+        return vec![spanned(
+            pos,
+            "SL000",
+            Severity::Error,
+            format!("verifier: {}", e.message),
+        )];
+    }
+
+    let cfg = Cfg::new(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    let live = Liveness::compute(func, &cfg);
+    let cx = PatternCtx::new(func, &cfg, &rd);
+    let depth = region_depths(func, &cfg);
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    // Block-level may-reachability through at least one edge.
+    let n = func.blocks.len();
+    let mut reach = vec![vec![false; n]; n];
+    for (b, row) in reach.iter_mut().enumerate() {
+        let mut stack = cfg.succs[b].clone();
+        while let Some(s) = stack.pop() {
+            if !row[s] {
+                row[s] = true;
+                stack.extend(cfg.succs[s].iter());
+            }
+        }
+    }
+    let may_follow = |p: Pos, q: Pos| (p.0 == q.0 && q.1 > p.1) || reach[p.0][q.0];
+
+    // Every memory access: (position, instruction).
+    let accesses: Vec<Pos> = func
+        .blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, blk)| {
+            blk.insts
+                .iter()
+                .enumerate()
+                .filter(|(_, inst)| !addresses(inst).is_empty())
+                .map(move |(i, _)| (b, i))
+        })
+        .collect();
+    let inst_at = |p: Pos| &func.blocks[p.0].insts[p.1];
+    let same_addr = |p: Pos, q: Pos| {
+        addresses(inst_at(p)).iter().any(|&ap| {
+            addresses(inst_at(q))
+                .iter()
+                .any(|&aq| rd.operand_identical(ap, p, aq, q))
+        })
+    };
+
+    // SL001: a deferred semantic increment followed by a transactional
+    // read of the same address in the same region. `_ITM_SW` adds the
+    // delta to the *semantic write set*; a later read is served from
+    // memory and silently misses the increment.
+    for &p in &accesses {
+        if !matches!(inst_at(p), Inst::TmInc { .. }) || depth[p.0][p.1] == 0 {
+            continue;
+        }
+        for &q in &accesses {
+            if q != p
+                && is_mem_read(inst_at(q))
+                && depth[q.0][q.1] > 0
+                && may_follow(p, q)
+                && same_addr(p, q)
+            {
+                out.push(spanned(
+                    Some(q),
+                    "SL001",
+                    Severity::Error,
+                    format!(
+                        "transactional read of an address incremented by _ITM_SW at \
+                         ({}, {}) in the same atomic region; the deferred increment \
+                         is not visible to reads",
+                        p.0, p.1
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL002: the same address is touched both inside an atomic region
+    // and outside one — the outside access races with other
+    // transactions (privatization hazard).
+    for &q in &accesses {
+        if depth[q.0][q.1] != 0 {
+            continue;
+        }
+        if let Some(&p) = accesses
+            .iter()
+            .find(|&&p| depth[p.0][p.1] > 0 && same_addr(p, q))
+        {
+            out.push(spanned(
+                Some(q),
+                "SL002",
+                Severity::Warning,
+                format!(
+                    "non-transactional access to an address also accessed inside an \
+                     atomic region (at ({}, {})); concurrent transactions may race \
+                     with it",
+                    p.0, p.1
+                ),
+            ));
+        }
+    }
+
+    // SL003: almost-promotable patterns, with the matcher's reason.
+    // `NotALoad` sides are ordinary arithmetic, not missed opportunities.
+    let interesting = |d: Decline| !matches!(d, Decline::NotALoad);
+    for (b, blk) in func.blocks.iter().enumerate() {
+        for (i, inst) in blk.insts.iter().enumerate() {
+            match inst {
+                Inst::Cmp { .. } => {
+                    if let CmpMatch::No { a, b: rb } = cx.match_cmp((b, i)) {
+                        for d in [a, rb].into_iter().filter(|&d| interesting(d)) {
+                            out.push(spanned(
+                                Some((b, i)),
+                                "SL003",
+                                Severity::Info,
+                                format!(
+                                    "comparison not promoted to a semantic builtin: {}",
+                                    d.reason()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Inst::TmStore { .. } => {
+                    if let Err(d) = cx.match_inc((b, i)) {
+                        if interesting(d) {
+                            out.push(spanned(
+                                Some((b, i)),
+                                "SL003",
+                                Severity::Info,
+                                format!("store not promoted to _ITM_SW: {}", d.reason()),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // SL004: two loads of the identical address with nothing in between
+    // that could change the value — the second pays a second barrier
+    // (and, on NOrec, a second validation) for the same word.
+    for &p in &accesses {
+        let Inst::TmLoad { addr: ap, .. } = *inst_at(p) else {
+            continue;
+        };
+        for &q in &accesses {
+            let Inst::TmLoad { addr: aq, .. } = *inst_at(q) else {
+                continue;
+            };
+            if q == p || !may_follow(p, q) || !rd.operand_identical(ap, p, aq, q) {
+                continue;
+            }
+            let protect: Vec<_> = ap.reg().into_iter().collect();
+            if cx.clean_path(p, q, &protect).is_ok() {
+                out.push(spanned(
+                    Some(q),
+                    "SL004",
+                    Severity::Warning,
+                    format!(
+                        "duplicate transactional load of the same address (first \
+                         loaded at ({}, {})); tm_mark/tm_optimize would fold this",
+                        p.0, p.1
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL005: definitions whose value is never used. Mirrors what
+    // tm_optimize removes, but also covers side-effect-free ALU results.
+    for (b, blk) in func.blocks.iter().enumerate() {
+        let mut live_after = live.live_out[b].clone();
+        let mut uses = Vec::new();
+        let mut dead: Vec<(usize, u32)> = Vec::new();
+        for (i, inst) in blk.insts.iter().enumerate().rev() {
+            if let Some(d) = inst.def() {
+                let pure = matches!(
+                    inst,
+                    Inst::Mov { .. }
+                        | Inst::Bin { .. }
+                        | Inst::Cmp { .. }
+                        | Inst::Not { .. }
+                        | Inst::TmLoad { .. }
+                );
+                if pure && !live_after[d as usize] {
+                    dead.push((i, d));
+                }
+                live_after[d as usize] = false;
+            }
+            uses.clear();
+            inst.uses(&mut uses);
+            for &r in &uses {
+                live_after[r as usize] = true;
+            }
+        }
+        for (i, d) in dead.into_iter().rev() {
+            out.push(spanned(
+                Some((b, i)),
+                "SL005",
+                Severity::Warning,
+                format!("result r{d} is never used (dead store)"),
+            ));
+        }
+    }
+
+    out.sort_by(|x, y| (x.pos, x.rule).cmp(&(y.pos, y.rule)));
+    out.dedup();
+    out
+}
+
+/// Atomic-region depth before each instruction (the function is already
+/// verified, so per-block entry depths are consistent).
+fn region_depths(func: &Function, cfg: &Cfg) -> Vec<Vec<u32>> {
+    let n = func.blocks.len();
+    let mut depth_in: Vec<Option<u32>> = vec![None; n];
+    depth_in[0] = Some(0);
+    let mut work = vec![0usize];
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    while let Some(b) = work.pop() {
+        let mut depth = depth_in[b].expect("queued blocks have a depth");
+        let mut per_inst = Vec::with_capacity(func.blocks[b].insts.len());
+        for inst in &func.blocks[b].insts {
+            per_inst.push(depth);
+            match inst {
+                Inst::TmBegin => depth += 1,
+                Inst::TmEnd => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        out[b] = per_inst;
+        for &s in &cfg.succs[b] {
+            if depth_in[s].is_none() {
+                depth_in[s] = Some(depth);
+                work.push(s);
+            }
+        }
+    }
+    // Unreachable blocks: treat as depth 0.
+    for (b, blk) in func.blocks.iter().enumerate() {
+        if out[b].is_empty() && !blk.insts.is_empty() {
+            out[b] = vec![0; blk.insts.len()];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_function, parse_function_spanned};
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        lint_function(&parse_function(src).unwrap(), None)
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn read_after_sw_is_an_error() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  tminc r0, 1
+  r1 = tmload r0
+  tmend
+  ret r1
+}
+",
+        );
+        assert!(rules_of(&d).contains(&"SL001"), "{d:?}");
+        let sl1 = d.iter().find(|d| d.rule == "SL001").unwrap();
+        assert_eq!(sl1.severity, Severity::Error);
+        assert_eq!(sl1.pos, Some((0, 2)));
+    }
+
+    #[test]
+    fn read_of_other_address_after_sw_is_fine() {
+        let d = lint_src(
+            r"
+func f(2) {
+entry:
+  tmbegin
+  tminc r0, 1
+  r2 = tmload r1
+  tmend
+  ret r2
+}
+",
+        );
+        assert!(!rules_of(&d).contains(&"SL001"), "{d:?}");
+    }
+
+    #[test]
+    fn nontransactional_access_warns() {
+        // The tail re-reads r0 outside the region (classic privatization
+        // shape).
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  tmstore r0, 1
+  tmend
+  r2 = tmload r0
+  ret r2
+}
+",
+        );
+        let sl2: Vec<_> = d.iter().filter(|d| d.rule == "SL002").collect();
+        assert_eq!(sl2.len(), 1, "{d:?}");
+        assert_eq!(sl2[0].pos, Some((0, 4)));
+        assert_eq!(sl2[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn missed_promotion_reports_reason() {
+        // Intervening store blocks the cmp promotion; SL003 explains.
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  tmstore r0, 99
+  r2 = cmp.gt r1, 0
+  tmend
+  ret r2
+}
+",
+        );
+        let sl3: Vec<_> = d.iter().filter(|d| d.rule == "SL003").collect();
+        assert_eq!(sl3.len(), 1, "{d:?}");
+        assert!(sl3[0].message.contains("write may execute"), "{sl3:?}");
+        assert_eq!(sl3[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn duplicate_load_warns_and_intervening_store_suppresses() {
+        let dup = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = tmload r0
+  r3 = add r1, r2
+  tmend
+  ret r3
+}
+",
+        );
+        let sl4: Vec<_> = dup.iter().filter(|d| d.rule == "SL004").collect();
+        assert_eq!(sl4.len(), 1, "{dup:?}");
+        assert_eq!(sl4[0].pos, Some((0, 2)));
+
+        let stored = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  tmstore r0, 7
+  r2 = tmload r0
+  r3 = add r1, r2
+  tmend
+  ret r3
+}
+",
+        );
+        assert!(!rules_of(&stored).contains(&"SL004"), "{stored:?}");
+    }
+
+    #[test]
+    fn dead_definition_warns() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  r1 = add r0, 1
+  ret r0
+}
+",
+        );
+        let sl5: Vec<_> = d.iter().filter(|d| d.rule == "SL005").collect();
+        assert_eq!(sl5.len(), 1, "{d:?}");
+        assert!(sl5[0].message.contains("r1"), "{sl5:?}");
+    }
+
+    #[test]
+    fn invalid_function_reports_verifier_error_only() {
+        let d = lint_src("func f(0) {\nentry:\n  tmbegin\n  ret\n}\n");
+        assert_eq!(rules_of(&d), vec!["SL000"], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn diagnostics_carry_source_spans() {
+        let src = "func f(1) {\nentry:\n  tmbegin\n  tminc r0, 1\n  r1 = tmload r0\n  tmend\n  ret r1\n}\n";
+        let (f, map) = parse_function_spanned(src).unwrap();
+        let d = lint_function(&f, Some(&map));
+        let sl1 = d.iter().find(|d| d.rule == "SL001").unwrap();
+        let span = sl1.span.expect("span present");
+        assert_eq!(span.line, 5);
+        let rendered = sl1.render("x.ir");
+        assert!(rendered.starts_with("x.ir:5:3: error[SL001]"), "{rendered}");
+    }
+
+    #[test]
+    fn builtin_programs_have_no_errors() {
+        for (path, f) in crate::programs::all() {
+            let diags = lint_function(&f, None);
+            assert!(
+                diags.iter().all(|d| d.severity != Severity::Error),
+                "{path}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_block_guard_lints_clean() {
+        let d = lint_function(&crate::programs::cross_block_guard(), None);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -26,40 +26,97 @@
 //!
 //! Operands are `rN` or decimal immediates (possibly negative). Arguments
 //! arrive in `r0..rN`.
+//!
+//! Errors carry the 1-based line *and column* of the offending token;
+//! [`parse_function_spanned`] additionally returns a [`SourceMap`]
+//! mapping every instruction back to its source position, which the
+//! `semlint` diagnostics use to print `file:line:col` locations.
 
 use crate::ir::{BinOp, Block, Function, Inst, Operand, Reg};
 use semtm_core::CmpOp;
 use std::collections::HashMap;
 
-/// A parse failure, with a 1-based line number.
+/// A parse failure, with a 1-based line and column.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Line the error was detected on.
     pub line: usize,
-    /// Human-readable message.
+    /// Column (1-based, in characters) of the offending token.
+    pub col: usize,
+    /// Human-readable message, naming the offending token.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError {
-        line,
-        message: message.into(),
-    })
+/// A 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Source line.
+    pub line: usize,
+    /// Source column (first character of the instruction or token).
+    pub col: usize,
 }
 
-fn parse_cmp_op(s: &str, line: usize) -> Result<CmpOp, ParseError> {
-    CmpOp::ALL
-        .into_iter()
-        .find(|op| op.mnemonic() == s)
-        .map_or_else(|| err(line, format!("unknown comparison '{s}'")), Ok)
+/// Side table mapping instruction positions `(block, index)` back to
+/// source [`Span`]s. Kept separate from [`Function`] so IR built
+/// programmatically (builder or literals) needs no span bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    spans: Vec<Vec<Span>>,
+}
+
+impl SourceMap {
+    /// The span of the instruction at `(block, index)`, if recorded.
+    pub fn span(&self, block: usize, index: usize) -> Option<Span> {
+        self.spans.get(block).and_then(|b| b.get(index)).copied()
+    }
+}
+
+/// One source line being parsed; errors anchor to tokens within it.
+struct LineCtx<'a> {
+    line: usize,
+    raw: &'a str,
+}
+
+impl LineCtx<'_> {
+    /// Column of `token` within the raw line (1-based; character count).
+    fn col_of(&self, token: &str) -> usize {
+        match self.raw.find(token) {
+            Some(byte) => self.raw[..byte].chars().count() + 1,
+            None => self.indent_col(),
+        }
+    }
+
+    /// Column where the code portion of the line starts.
+    fn indent_col(&self) -> usize {
+        let trimmed = self.raw.trim_start();
+        self.raw.chars().count() - trimmed.chars().count() + 1
+    }
+
+    /// An error anchored at the start of the line's code.
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line,
+            col: self.indent_col(),
+            message: message.into(),
+        })
+    }
+
+    /// An error anchored at `token`, which the message should name.
+    fn err_at<T>(&self, token: &str, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line,
+            col: self.col_of(token),
+            message: message.into(),
+        })
+    }
 }
 
 fn parse_bin_op(s: &str) -> Option<BinOp> {
@@ -81,78 +138,86 @@ struct Parser {
 }
 
 impl Parser {
-    fn reg(&mut self, s: &str, line: usize) -> Result<Reg, ParseError> {
+    fn reg(&mut self, s: &str, cx: &LineCtx<'_>) -> Result<Reg, ParseError> {
         let Some(num) = s.strip_prefix('r') else {
-            return err(line, format!("expected register, got '{s}'"));
+            return cx.err_at(s, format!("expected register, got '{s}'"));
         };
-        let r: u32 = num.parse().map_err(|_| ParseError {
-            line,
-            message: format!("bad register '{s}'"),
-        })?;
+        let Ok(r) = num.parse::<u32>() else {
+            return cx.err_at(s, format!("bad register '{s}'"));
+        };
         self.max_reg = self.max_reg.max(r + 1);
         Ok(r)
     }
 
-    fn operand(&mut self, s: &str, line: usize) -> Result<Operand, ParseError> {
+    fn operand(&mut self, s: &str, cx: &LineCtx<'_>) -> Result<Operand, ParseError> {
         if s.starts_with('r') {
-            Ok(Operand::Reg(self.reg(s, line)?))
+            Ok(Operand::Reg(self.reg(s, cx)?))
+        } else if let Ok(imm) = s.parse::<i64>() {
+            Ok(Operand::Imm(imm))
         } else {
-            s.parse::<i64>().map(Operand::Imm).map_err(|_| ParseError {
-                line,
-                message: format!("bad operand '{s}'"),
-            })
+            cx.err_at(s, format!("bad operand '{s}'"))
         }
+    }
+
+    fn cmp_op(&self, s: &str, cx: &LineCtx<'_>) -> Result<CmpOp, ParseError> {
+        CmpOp::ALL
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+            .map_or_else(|| cx.err_at(s, format!("unknown comparison '{s}'")), Ok)
     }
 }
 
-/// Parse one function from `src`.
+/// Parse one function from `src` (discarding the source map; see
+/// [`parse_function_spanned`] to keep it).
 pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    parse_function_spanned(src).map(|(f, _)| f)
+}
+
+/// Parse one function from `src`, returning it together with the
+/// [`SourceMap`] locating every instruction.
+pub fn parse_function_spanned(src: &str) -> Result<(Function, SourceMap), ParseError> {
     let mut name = String::new();
     let mut num_args = 0u32;
     let mut blocks: Vec<Block> = Vec::new();
+    let mut spans: Vec<Vec<Span>> = Vec::new();
     let mut labels: HashMap<String, usize> = HashMap::new();
-    // (block, inst index, line, kind): branch fixups recorded as labels.
-    let mut fixups: Vec<(usize, usize, usize, Vec<String>)> = Vec::new();
+    let mut fixups: Vec<Fixup> = Vec::new();
     let mut p = Parser { max_reg: 0 };
     let mut in_body = false;
     let mut done = false;
 
     for (lineno, raw) in src.lines().enumerate() {
-        let line = lineno + 1;
+        let cx = LineCtx {
+            line: lineno + 1,
+            raw,
+        };
         let code = raw.split(';').next().unwrap_or("").trim();
         if code.is_empty() {
             continue;
         }
         if done {
-            return err(line, "content after closing '}'");
+            return cx.err_at(code, format!("content after closing '}}': '{code}'"));
         }
         if !in_body {
             // func NAME(N) {
-            let rest = code
-                .strip_prefix("func")
-                .ok_or(ParseError {
-                    line,
-                    message: "expected 'func NAME(N) {'".into(),
-                })?
-                .trim();
-            let open = rest.find('(').ok_or(ParseError {
-                line,
-                message: "missing '('".into(),
-            })?;
-            let close = rest.find(')').ok_or(ParseError {
-                line,
-                message: "missing ')'".into(),
-            })?;
+            let Some(rest) = code.strip_prefix("func") else {
+                return cx.err_at(code, format!("expected 'func NAME(N) {{', got '{code}'"));
+            };
+            let rest = rest.trim();
+            let Some(open) = rest.find('(') else {
+                return cx.err("missing '(' in function header");
+            };
+            let Some(close) = rest.find(')') else {
+                return cx.err("missing ')' in function header");
+            };
             name = rest[..open].trim().to_string();
-            num_args = rest[open + 1..close]
-                .trim()
-                .parse()
-                .map_err(|_| ParseError {
-                    line,
-                    message: "bad argument count".into(),
-                })?;
+            let argstr = rest[open + 1..close].trim();
+            let Ok(n) = argstr.parse::<u32>() else {
+                return cx.err_at(argstr, format!("bad argument count '{argstr}'"));
+            };
+            num_args = n;
             if !rest[close + 1..].trim().starts_with('{') {
-                return err(line, "missing '{'");
+                return cx.err("missing '{' after function header");
             }
             p.max_reg = num_args;
             in_body = true;
@@ -165,32 +230,45 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
         if let Some(label) = code.strip_suffix(':') {
             let label = label.trim();
             if labels.insert(label.to_string(), blocks.len()).is_some() {
-                return err(line, format!("duplicate label '{label}'"));
+                return cx.err_at(label, format!("duplicate label '{label}'"));
             }
             blocks.push(Block {
                 label: label.to_string(),
                 insts: Vec::new(),
             });
+            spans.push(Vec::new());
             continue;
         }
         if blocks.is_empty() {
-            return err(line, "instruction before the first label");
+            return cx.err_at(
+                code,
+                format!("instruction before the first label: '{code}'"),
+            );
         }
         let bi = blocks.len() - 1;
-        let inst = parse_inst(code, line, &mut p, bi, blocks[bi].insts.len(), &mut fixups)?;
+        let inst = parse_inst(code, &cx, &mut p, bi, blocks[bi].insts.len(), &mut fixups)?;
         blocks[bi].insts.push(inst);
+        spans[bi].push(Span {
+            line: cx.line,
+            col: cx.indent_col(),
+        });
     }
     if !done {
-        return err(src.lines().count(), "missing closing '}'");
+        return Err(ParseError {
+            line: src.lines().count(),
+            col: 1,
+            message: "missing closing '}'".into(),
+        });
     }
 
     // Resolve branch labels.
     for (bi, ii, line, targets) in fixups {
         let resolved: Result<Vec<usize>, ParseError> = targets
             .iter()
-            .map(|t| {
+            .map(|(t, col)| {
                 labels.get(t).copied().ok_or(ParseError {
                     line,
+                    col: *col,
                     message: format!("unknown label '{t}'"),
                 })
             })
@@ -214,23 +292,29 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
         num_regs: p.max_reg,
         blocks,
     };
-    f.validate()
-        .map_err(|message| ParseError { line: 0, message })?;
-    Ok(f)
+    f.validate().map_err(|message| ParseError {
+        line: 0,
+        col: 0,
+        message,
+    })?;
+    Ok((f, SourceMap { spans }))
 }
 
-#[allow(clippy::too_many_arguments)]
+/// (block, inst index, line, targets-as-(label, col)): a branch whose
+/// label operands still need resolving once all blocks are known.
+type Fixup = (usize, usize, usize, Vec<(String, usize)>);
+
 fn parse_inst(
     code: &str,
-    line: usize,
+    cx: &LineCtx<'_>,
     p: &mut Parser,
     bi: usize,
     ii: usize,
-    fixups: &mut Vec<(usize, usize, usize, Vec<String>)>,
+    fixups: &mut Vec<Fixup>,
 ) -> Result<Inst, ParseError> {
     // Split on '=' for value-producing forms.
     if let Some((lhs, rhs)) = code.split_once('=') {
-        let dst = p.reg(lhs.trim(), line)?;
+        let dst = p.reg(lhs.trim(), cx)?;
         let rhs = rhs.trim();
         let (mnemonic, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
         let args: Vec<&str> = rest
@@ -240,15 +324,21 @@ fn parse_inst(
             .collect();
         let one = |p: &mut Parser| -> Result<Operand, ParseError> {
             if args.len() != 1 {
-                return err(line, format!("'{mnemonic}' needs 1 operand"));
+                return cx.err_at(
+                    mnemonic,
+                    format!("'{mnemonic}' needs 1 operand, got {}", args.len()),
+                );
             }
-            p.operand(args[0], line)
+            p.operand(args[0], cx)
         };
         let two = |p: &mut Parser| -> Result<(Operand, Operand), ParseError> {
             if args.len() != 2 {
-                return err(line, format!("'{mnemonic}' needs 2 operands"));
+                return cx.err_at(
+                    mnemonic,
+                    format!("'{mnemonic}' needs 2 operands, got {}", args.len()),
+                );
             }
-            Ok((p.operand(args[0], line)?, p.operand(args[1], line)?))
+            Ok((p.operand(args[0], cx)?, p.operand(args[1], cx)?))
         };
         if mnemonic == "const" || mnemonic == "mov" {
             return Ok(Inst::Mov { dst, src: one(p)? });
@@ -260,8 +350,8 @@ fn parse_inst(
             return Ok(Inst::TmLoad { dst, addr: one(p)? });
         }
         if mnemonic == "rand" {
-            return err(
-                line,
+            return cx.err_at(
+                mnemonic,
                 "'rand' is not part of the IR; pass randomness as arguments",
             );
         }
@@ -270,21 +360,21 @@ fn parse_inst(
             return Ok(Inst::Bin { op, dst, a, b });
         }
         if let Some(sfx) = mnemonic.strip_prefix("cmp.") {
-            let op = parse_cmp_op(sfx, line)?;
+            let op = p.cmp_op(sfx, cx)?;
             let (a, b) = two(p)?;
             return Ok(Inst::Cmp { op, dst, a, b });
         }
         if let Some(sfx) = mnemonic.strip_prefix("tmcmp2.") {
-            let op = parse_cmp_op(sfx, line)?;
+            let op = p.cmp_op(sfx, cx)?;
             let (a, b) = two(p)?;
             return Ok(Inst::TmCmpAddr { op, dst, a, b });
         }
         if let Some(sfx) = mnemonic.strip_prefix("tmcmp.") {
-            let op = parse_cmp_op(sfx, line)?;
+            let op = p.cmp_op(sfx, cx)?;
             let (addr, val) = two(p)?;
             return Ok(Inst::TmCmpVal { op, dst, addr, val });
         }
-        return err(line, format!("unknown mnemonic '{mnemonic}'"));
+        return cx.err_at(mnemonic, format!("unknown mnemonic '{mnemonic}'"));
     }
 
     // Statement forms.
@@ -299,36 +389,55 @@ fn parse_inst(
         "tmend" => Ok(Inst::TmEnd),
         "tmstore" => {
             if args.len() != 2 {
-                return err(line, "'tmstore' needs 2 operands");
+                return cx.err_at(
+                    mnemonic,
+                    format!("'tmstore' needs 2 operands, got {}", args.len()),
+                );
             }
             Ok(Inst::TmStore {
-                addr: p.operand(args[0], line)?,
-                val: p.operand(args[1], line)?,
+                addr: p.operand(args[0], cx)?,
+                val: p.operand(args[1], cx)?,
             })
         }
         "tminc" | "tmdec" => {
             if args.len() != 2 {
-                return err(line, format!("'{mnemonic}' needs 2 operands"));
+                return cx.err_at(
+                    mnemonic,
+                    format!("'{mnemonic}' needs 2 operands, got {}", args.len()),
+                );
             }
             Ok(Inst::TmInc {
-                addr: p.operand(args[0], line)?,
-                delta: p.operand(args[1], line)?,
+                addr: p.operand(args[0], cx)?,
+                delta: p.operand(args[1], cx)?,
                 negate: mnemonic == "tmdec",
             })
         }
         "br" => {
             if args.len() != 1 {
-                return err(line, "'br' needs a label");
+                return cx.err_at(mnemonic, "'br' needs a label");
             }
-            fixups.push((bi, ii, line, vec![args[0].to_string()]));
+            fixups.push((
+                bi,
+                ii,
+                cx.line,
+                vec![(args[0].to_string(), cx.col_of(args[0]))],
+            ));
             Ok(Inst::Br { target: 0 })
         }
         "condbr" => {
             if args.len() != 3 {
-                return err(line, "'condbr' needs cond, then, else");
+                return cx.err_at(mnemonic, "'condbr' needs cond, then, else");
             }
-            let cond = p.operand(args[0], line)?;
-            fixups.push((bi, ii, line, vec![args[1].to_string(), args[2].to_string()]));
+            let cond = p.operand(args[0], cx)?;
+            fixups.push((
+                bi,
+                ii,
+                cx.line,
+                vec![
+                    (args[1].to_string(), cx.col_of(args[1])),
+                    (args[2].to_string(), cx.col_of(args[2])),
+                ],
+            ));
             Ok(Inst::CondBr {
                 cond,
                 then_to: 0,
@@ -340,13 +449,13 @@ fn parse_inst(
                 Ok(Inst::Ret { val: None })
             } else if args.len() == 1 {
                 Ok(Inst::Ret {
-                    val: Some(p.operand(args[0], line)?),
+                    val: Some(p.operand(args[0], cx)?),
                 })
             } else {
-                err(line, "'ret' takes at most one operand")
+                cx.err_at(mnemonic, "'ret' takes at most one operand")
             }
         }
-        other => err(line, format!("unknown statement '{other}'")),
+        other => cx.err_at(other, format!("unknown statement '{other}'")),
     }
 }
 
@@ -436,15 +545,78 @@ entry:
     }
 
     #[test]
+    fn errors_carry_columns_and_tokens() {
+        let src = "func f(0) {\nentry:\n  r1 = const zz\n  ret\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.col, 14, "column of 'zz': {e}");
+        assert!(e.message.contains("'zz'"), "{e}");
+        assert_eq!(e.to_string(), "line 3:14: bad operand 'zz'");
+    }
+
+    #[test]
+    fn bad_register_names_token() {
+        let src = "func f(1) {\nentry:\n  r1 = add rq, 2\n  ret r1\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 12), "{e}");
+        assert!(e.message.contains("'rq'"), "{e}");
+    }
+
+    #[test]
+    fn wrong_operand_count_points_at_mnemonic() {
+        let src = "func f(1) {\nentry:\n  tmstore r0\n  ret\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 3), "{e}");
+        assert!(e.message.contains("needs 2 operands, got 1"), "{e}");
+    }
+
+    #[test]
+    fn unknown_comparison_points_at_suffix() {
+        let src = "func f(1) {\nentry:\n  r1 = cmp.approx r0, 0\n  ret r1\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("'approx'"), "{e}");
+    }
+
+    #[test]
     fn unknown_label_is_rejected() {
         let src = "func f(0) {\nentry:\n  br nowhere\n}\n";
         let e = parse_function(src).unwrap_err();
         assert!(e.message.contains("nowhere"));
+        assert_eq!((e.line, e.col), (3, 6), "{e}");
     }
 
     #[test]
     fn duplicate_label_is_rejected() {
         let src = "func f(0) {\na:\n  ret\na:\n  ret\n}\n";
-        assert!(parse_function(src).is_err());
+        let e = parse_function(src).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("duplicate label 'a'"));
+    }
+
+    #[test]
+    fn missing_brace_and_trailing_content_are_rejected() {
+        let e = parse_function("func f(0) {\nentry:\n  ret\n").unwrap_err();
+        assert!(e.message.contains("missing closing"), "{e}");
+        let e = parse_function("func f(0) {\nentry:\n  ret\n}\nret\n").unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("after closing"), "{e}");
+    }
+
+    #[test]
+    fn source_map_locates_instructions() {
+        let (f, map) = parse_function_spanned(GUARDED_INC).unwrap();
+        // Block 0 inst 0 is `tmbegin` on line 5 (1-based, after the
+        // leading blank + comment + header + label lines).
+        assert_eq!(map.span(0, 0), Some(Span { line: 5, col: 3 }));
+        // Block 1 ("do_inc") inst 2 is the tmstore on line 12.
+        assert_eq!(map.span(1, 2), Some(Span { line: 12, col: 3 }));
+        // Every instruction has a span.
+        for (b, block) in f.blocks.iter().enumerate() {
+            for i in 0..block.insts.len() {
+                assert!(map.span(b, i).is_some(), "missing span for ({b},{i})");
+            }
+        }
+        assert_eq!(map.span(0, 99), None);
     }
 }

@@ -3,18 +3,30 @@
 //! * [`tm_mark`] — pattern detection (§6): conditional expressions with a
 //!   transactional-load origin become `_ITM_S1R`/`_ITM_S2R` builtins;
 //!   transactional stores of `load ± local` on the same address become
-//!   `_ITM_SW`. Origins are tracked through reaching definitions within
-//!   a basic block ("simple expression patterns that usually reside in
-//!   the same basic block" — no alias analysis required, exactly as the
-//!   paper argues).
-//! * [`tm_optimize`] — never-live elimination (§6): a global (whole-
-//!   function) liveness analysis removes transactional loads whose
-//!   result is never live — in particular the read half of every matched
-//!   `inc` — plus the pure ALU instructions orphaned by the rewrite. The
-//!   pass is conservative: an instruction is removed only when liveness
-//!   *guarantees* the value is dead along every path.
+//!   `_ITM_SW`. Origins are tracked through **whole-function reaching
+//!   definitions** ([`crate::analysis::ReachingDefs`]): unlike the
+//!   seed's block-local matcher, a comparison whose load sits in a
+//!   predecessor block is still promoted, provided no path between the
+//!   load and the use writes memory, crosses an atomic-region boundary,
+//!   or redefines a register the re-evaluated address depends on (see
+//!   [`crate::analysis::patterns`] for the exact conditions).
+//! * [`tm_optimize`] — never-live elimination (§6): whole-function
+//!   liveness ([`crate::analysis::Liveness`]) removes transactional
+//!   loads whose result is never live — in particular the read half of
+//!   every matched `inc` — plus the pure ALU instructions orphaned by
+//!   the rewrite. The pass is conservative: an instruction is removed
+//!   only when liveness *guarantees* the value is dead along every
+//!   path. Semantic builtins (`TmCmpVal`/`TmCmpAddr`) are kept even
+//!   when their boolean is dead: they record a relation in the semantic
+//!   read set, and we preserve the seed's conservative choice.
+//!
+//! Both passes run under the strict verifier: [`run_tm_passes_checked`]
+//! verifies the function before `tm_mark`, between the passes, and
+//! after `tm_optimize`, so a pass bug surfaces as a [`VerifyError`]
+//! instead of silent miscompilation.
 
-use crate::ir::{Block, BlockId, Function, Inst, Operand, Reg};
+use crate::analysis::{verify, Cfg, CmpMatch, Liveness, PatternCtx, ReachingDefs, VerifyError};
+use crate::ir::{Function, Inst};
 
 /// Statistics reported by a pass run (used by the Figure-2 harness to
 /// show the 2→1 TM-call reduction).
@@ -32,209 +44,62 @@ pub struct PassReport {
     pub pure_removed: usize,
 }
 
-/// Reaching definition (within one block) of each register at each
-/// instruction index: `reach[i][r]` = index of the last instruction
-/// `< i` defining `r`, if any.
-fn block_reaching_defs(block: &Block) -> Vec<std::collections::HashMap<Reg, usize>> {
-    let mut cur: std::collections::HashMap<Reg, usize> = std::collections::HashMap::new();
-    let mut out = Vec::with_capacity(block.insts.len() + 1);
-    for inst in &block.insts {
-        out.push(cur.clone());
-        if let Some(d) = inst.def() {
-            cur.insert(d, out.len() - 1);
-        }
-    }
-    out.push(cur);
-    out
-}
-
-/// Classify an operand's origin at instruction position `pos`: if it is a
-/// register whose in-block reaching definition is a `TmLoad`, return that
-/// load's index and address operand. Anything else — immediate, argument,
-/// value defined in another block, or a non-load definition — counts as
-/// "literal or local variable" in the paper's terms.
-fn tm_load_origin(
-    block: &Block,
-    reach: &[std::collections::HashMap<Reg, usize>],
-    pos: usize,
-    operand: Operand,
-) -> Option<(usize, Operand)> {
-    let r = operand.reg()?;
-    let def_at = *reach[pos].get(&r)?;
-    match block.insts[def_at] {
-        Inst::TmLoad { dst, addr } if dst == r => Some((def_at, addr)),
-        _ => None,
-    }
-}
-
-/// Are two address operands provably the same address at positions
-/// `p1 < p2`? Immediates compare by value; registers must be the same
-/// register with the same reaching definition at both points.
-fn same_address(
-    reach: &[std::collections::HashMap<Reg, usize>],
-    a: Operand,
-    p1: usize,
-    b: Operand,
-    p2: usize,
-) -> bool {
-    match (a, b) {
-        (Operand::Imm(x), Operand::Imm(y)) => x == y,
-        (Operand::Reg(x), Operand::Reg(y)) => x == y && reach[p1].get(&x) == reach[p2].get(&x),
-        _ => false,
-    }
-}
-
 /// The `tm_mark` extension: detect and rewrite the paper's `cmp` and
-/// `inc` patterns. Leaves the feeding loads in place — [`tm_optimize`]
-/// removes the ones that became dead.
+/// `inc` patterns across basic blocks. Leaves the feeding loads in
+/// place — [`tm_optimize`] removes the ones that became dead.
 pub fn tm_mark(func: &mut Function) -> PassReport {
     let mut report = PassReport::default();
-    for block in &mut func.blocks {
-        let reach = block_reaching_defs(block);
-        for i in 0..block.insts.len() {
-            match block.insts[i].clone() {
-                // --- cmp pattern ---
-                Inst::Cmp { op, dst, a, b } => {
-                    let oa = tm_load_origin(block, &reach, i, a);
-                    let ob = tm_load_origin(block, &reach, i, b);
-                    match (oa, ob) {
-                        (Some((_, addr_a)), Some((_, addr_b))) => {
-                            block.insts[i] = Inst::TmCmpAddr {
-                                op,
-                                dst,
-                                a: addr_a,
-                                b: addr_b,
-                            };
-                            report.s2r += 1;
-                        }
-                        (Some((_, addr)), None) => {
-                            block.insts[i] = Inst::TmCmpVal {
-                                op,
-                                dst,
-                                addr,
-                                val: b,
-                            };
-                            report.s1r += 1;
-                        }
-                        (None, Some((_, addr))) => {
-                            block.insts[i] = Inst::TmCmpVal {
-                                op: op.swap(),
-                                dst,
-                                addr,
-                                val: a,
-                            };
-                            report.s1r += 1;
-                        }
-                        (None, None) => {}
+    // Rewrites neither add nor remove definitions (a promoted `Cmp`
+    // defines the same register at the same position; a promoted
+    // `TmStore` still defines nothing), so the analyses stay valid
+    // while we collect rewrites; they are applied afterwards.
+    let cfg = Cfg::new(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    let cx = PatternCtx::new(func, &cfg, &rd);
+    let mut rewrites: Vec<((usize, usize), Inst)> = Vec::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            match inst {
+                Inst::Cmp { .. } => match cx.match_cmp((b, i)) {
+                    CmpMatch::S2R { op, dst, a, b: rb } => {
+                        rewrites.push(((b, i), Inst::TmCmpAddr { op, dst, a, b: rb }));
+                        report.s2r += 1;
                     }
-                }
-                // --- inc pattern ---
-                Inst::TmStore { addr, val } => {
-                    let Some(vr) = val.reg() else { continue };
-                    let Some(&bin_at) = reach[i].get(&vr) else {
-                        continue;
-                    };
-                    let Inst::Bin { op: bop, dst, a, b } = block.insts[bin_at].clone() else {
-                        continue;
-                    };
-                    if dst != vr {
-                        continue;
+                    CmpMatch::S1R { op, dst, addr, val } => {
+                        rewrites.push(((b, i), Inst::TmCmpVal { op, dst, addr, val }));
+                        report.s1r += 1;
                     }
-                    use crate::ir::BinOp;
-                    let (load_side, delta, negate) = match bop {
-                        BinOp::Add => {
-                            // load + delta or delta + load
-                            if let Some((lat, laddr)) = tm_load_origin(block, &reach, bin_at, a) {
-                                ((lat, laddr), b, false)
-                            } else if let Some((lat, laddr)) =
-                                tm_load_origin(block, &reach, bin_at, b)
-                            {
-                                ((lat, laddr), a, false)
-                            } else {
-                                continue;
-                            }
-                        }
-                        BinOp::Sub => {
-                            // Only load - delta is an inc; delta - load is not.
-                            if let Some((lat, laddr)) = tm_load_origin(block, &reach, bin_at, a) {
-                                ((lat, laddr), b, true)
-                            } else {
-                                continue;
-                            }
-                        }
-                        _ => continue,
-                    };
-                    let (load_at, load_addr) = load_side;
-                    // The delta side must itself be literal/local.
-                    if tm_load_origin(block, &reach, bin_at, delta).is_some() {
-                        continue;
+                    CmpMatch::No { .. } => {}
+                },
+                Inst::TmStore { .. } => {
+                    if let Ok(m) = cx.match_inc((b, i)) {
+                        rewrites.push((
+                            (b, i),
+                            Inst::TmInc {
+                                addr: m.addr,
+                                delta: m.delta,
+                                negate: m.negate,
+                            },
+                        ));
+                        report.sw += 1;
                     }
-                    // Same address at the load and at the store.
-                    if !same_address(&reach, load_addr, load_at, addr, i) {
-                        continue;
-                    }
-                    block.insts[i] = Inst::TmInc {
-                        addr,
-                        delta,
-                        negate,
-                    };
-                    report.sw += 1;
                 }
                 _ => {}
             }
         }
     }
+    for ((b, i), inst) in rewrites {
+        func.blocks[b].insts[i] = inst;
+    }
     report
-}
-
-/// Whole-function backward liveness: `live_in[b]` = registers live on
-/// entry to block `b`.
-fn liveness(func: &Function) -> Vec<Vec<bool>> {
-    let n = func.num_regs as usize;
-    let mut live_in: Vec<Vec<bool>> = vec![vec![false; n]; func.blocks.len()];
-    let mut changed = true;
-    let mut uses = Vec::new();
-    while changed {
-        changed = false;
-        for b in (0..func.blocks.len()).rev() {
-            let mut live = live_out(func, b, &live_in);
-            for inst in func.blocks[b].insts.iter().rev() {
-                if let Some(d) = inst.def() {
-                    live[d as usize] = false;
-                }
-                uses.clear();
-                inst.uses(&mut uses);
-                for &r in &uses {
-                    live[r as usize] = true;
-                }
-            }
-            if live != live_in[b] {
-                live_in[b] = live;
-                changed = true;
-            }
-        }
-    }
-    live_in
-}
-
-fn live_out(func: &Function, b: BlockId, live_in: &[Vec<bool>]) -> Vec<bool> {
-    let n = func.num_regs as usize;
-    let mut out = vec![false; n];
-    for s in func.blocks[b].successors() {
-        for r in 0..n {
-            out[r] = out[r] || live_in[s][r];
-        }
-    }
-    out
 }
 
 /// Is this instruction removable when its destination is dead?
 /// Transactional loads are — that is the point of the pass (the TM
 /// side-effect of a never-live read is pure overhead). Stores, semantic
-/// builtins with effects, and control flow are not. `TmCmpVal`/
-/// `TmCmpAddr` *do* have the semantic-read-set side effect, but if the
-/// boolean result is never consumed the recorded relation constrains
-/// nothing the program observes, so they are removable too.
+/// builtins, and control flow are not: `TmCmpVal`/`TmCmpAddr` record a
+/// relation in the semantic read set, and we conservatively keep them
+/// even when the boolean result is dead.
 fn removable(inst: &Inst) -> (bool, bool) {
     // (is_tm_load, is_pure_alu)
     match inst {
@@ -249,10 +114,11 @@ fn removable(inst: &Inst) -> (bool, bool) {
 pub fn tm_optimize(func: &mut Function) -> PassReport {
     let mut report = PassReport::default();
     loop {
-        let live_in = liveness(func);
+        let cfg = Cfg::new(func);
+        let live = Liveness::compute(func, &cfg);
         let mut removed_any = false;
         for b in 0..func.blocks.len() {
-            let mut live = live_out(func, b, &live_in);
+            let mut live = live.live_out[b].clone();
             let mut keep = vec![true; func.blocks[b].insts.len()];
             let mut uses = Vec::new();
             for (ii, inst) in func.blocks[b].insts.iter().enumerate().rev() {
@@ -294,20 +160,31 @@ pub fn tm_optimize(func: &mut Function) -> PassReport {
     }
 }
 
-/// Run both passes in order (the "modified GCC" configuration) and merge
-/// the reports.
-pub fn run_tm_passes(func: &mut Function) -> PassReport {
+/// Run both passes in order (the "modified GCC" configuration) with the
+/// strict verifier before, between, and after, and merge the reports.
+pub fn run_tm_passes_checked(func: &mut Function) -> Result<PassReport, VerifyError> {
+    verify(func)?;
     let mut r = tm_mark(func);
+    verify(func)?;
     let o = tm_optimize(func);
+    verify(func)?;
     r.loads_removed = o.loads_removed;
     r.pure_removed = o.pure_removed;
-    r
+    Ok(r)
+}
+
+/// Run both passes in order and merge the reports, panicking if the
+/// verifier rejects the function before or after a pass (a verifier
+/// failure here is a pass bug or invalid input IR — use
+/// [`run_tm_passes_checked`] to handle it as a value).
+pub fn run_tm_passes(func: &mut Function) -> PassReport {
+    run_tm_passes_checked(func).unwrap_or_else(|e| panic!("IR verifier rejected function: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinOp, FunctionBuilder};
+    use crate::ir::{BinOp, FunctionBuilder, Operand};
     use semtm_core::CmpOp;
 
     /// `if (*a > 0) ret 1 else ret 0` — the canonical S1R pattern.
@@ -452,7 +329,7 @@ mod tests {
 
     #[test]
     fn live_load_is_kept_after_cmp_rewrite() {
-        // The loaded value is also returned — the load must survive.
+        // The loaded value is also stored back — the load must survive.
         let mut fb = FunctionBuilder::new("keep", 1);
         let v = fb.reg();
         let c = fb.reg();
@@ -517,6 +394,155 @@ mod tests {
     }
 
     #[test]
+    fn address_redefinition_blocks_cmp_match() {
+        // Regression (satellite fix): the address register is redefined
+        // between the load and the compare. The seed's syntactic
+        // matcher promoted this to `tmcmp r0, 0`, which would re-read
+        // the *new* address; reaching-definition identity rejects it.
+        let mut fb = FunctionBuilder::new("cmp_redef", 1);
+        let v = fb.reg();
+        let c = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: 0,
+            a: Operand::Reg(0),
+            b: Operand::Imm(8),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(c)),
+        });
+        let mut f = fb.build();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s1r, 0, "promotion would compare the wrong address");
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::Cmp { .. })), 1);
+    }
+
+    #[test]
+    fn intervening_store_blocks_cmp_match() {
+        // Regression: the transaction writes the compared address
+        // between the load and the compare; a promoted `tmcmp` would
+        // observe the new value instead of the loaded one.
+        let mut fb = FunctionBuilder::new("cmp_wr", 1);
+        let v = fb.reg();
+        let c = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Imm(99),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(c)),
+        });
+        let mut f = fb.build();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s1r, 0, "promotion would observe the stored value");
+    }
+
+    #[test]
+    fn intervening_store_blocks_inc_match() {
+        // Regression: `*a = old(*a) + 1` with a store to `*a` in
+        // between is NOT an increment of the current value.
+        let mut fb = FunctionBuilder::new("inc_wr", 1);
+        let v = fb.reg();
+        let s = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Imm(5),
+        });
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: s,
+            a: Operand::Reg(v),
+            b: Operand::Imm(1),
+        });
+        fb.push(Inst::TmStore {
+            addr: Operand::Reg(0),
+            val: Operand::Reg(s),
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret { val: None });
+        let mut f = fb.build();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.sw, 0, "must not fold across an intervening store");
+    }
+
+    #[test]
+    fn cross_block_cmp_becomes_s1r() {
+        // The acceptance pattern: load in one block, compare in a
+        // successor — the seed's block-local matcher always missed it.
+        let mut fb = FunctionBuilder::new("xb", 1);
+        let v = fb.reg();
+        let c = fb.reg();
+        let test = fb.block("test");
+        let t = fb.block("t");
+        let e = fb.block("e");
+        fb.switch_to(0);
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Br { target: test });
+        fb.switch_to(test);
+        fb.push(Inst::Cmp {
+            op: CmpOp::Gt,
+            dst: c,
+            a: Operand::Reg(v),
+            b: Operand::Imm(0),
+        });
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(c),
+            then_to: t,
+            else_to: e,
+        });
+        fb.switch_to(t);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Imm(1)),
+        });
+        fb.switch_to(e);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Imm(0)),
+        });
+        let mut f = fb.build();
+        let before = f.barrier_count();
+        let r = run_tm_passes(&mut f);
+        assert_eq!(r.s1r, 1, "cross-block comparison is promoted");
+        assert_eq!(r.loads_removed, 1, "the cross-block feeding load dies");
+        assert_eq!(f.barrier_count(), before, "load+cmp became one S1R");
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TmLoad { .. })), 0);
+    }
+
+    #[test]
     fn liveness_across_blocks_protects_loads() {
         // Load in block 0, use in block 1 — never-live analysis must see
         // the cross-block use.
@@ -536,5 +562,21 @@ mod tests {
         let mut f = fb.build();
         let r = tm_optimize(&mut f);
         assert_eq!(r.loads_removed, 0);
+    }
+
+    #[test]
+    fn checked_passes_reject_invalid_ir() {
+        // A function whose only path returns inside an open region.
+        let f = Function {
+            name: "openret".into(),
+            num_args: 0,
+            num_regs: 0,
+            blocks: vec![crate::ir::Block {
+                label: "entry".into(),
+                insts: vec![Inst::TmBegin, Inst::Ret { val: None }],
+            }],
+        };
+        let err = run_tm_passes_checked(&mut f.clone()).unwrap_err();
+        assert!(err.message.contains("still open"), "{err}");
     }
 }

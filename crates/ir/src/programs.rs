@@ -6,150 +6,53 @@
 //! `cmp`/`inc` patterns by itself, keeping the programming model
 //! untouched.
 //!
+//! The sources live as checked-in `.ir` files under `programs/` at the
+//! repository root (so `semlint` and CI can lint them as files) and are
+//! embedded here with `include_str!`:
+//!
 //! * [`hashtable_op`] — the open-addressing probe of the paper's
 //!   Algorithm 2 (get or insert, selected by an argument);
 //! * [`vacation_reserve`] — the reservation scan-and-book kernel of
 //!   Algorithm 4 over a contiguous offer table;
 //! * [`bank_transfer`] — a guarded transfer (overdraft check + two
-//!   balance updates).
+//!   balance updates);
+//! * [`cross_block_guard`] — a test-and-set guard whose comparison sits
+//!   in a different basic block than its feeding load, exercising the
+//!   whole-function matcher.
 
 use crate::ir::Function;
 use crate::parser::parse_function;
 
-/// Open-addressing hash-table operation.
+/// Open-addressing hash-table operation (see `programs/ht_op.ir`).
 ///
 /// Arguments: `r0` = states base address, `r1` = keys base address,
 /// `r2` = capacity mask, `r3` = key, `r4` = op (0 = get, 1 = insert).
 /// Returns 1 found, 0 absent, 2 inserted.
 /// Cell states: 0 = FREE, 1 = USED, 2 = REMOVED.
-pub const HASHTABLE_OP_SRC: &str = r"
-; Algorithm 2: while (states[i] != FREE && (states[i] == REMOVED || keys[i] != key)) i++
-func ht_op(5) {
-entry:
-  tmbegin
-  r5 = and r3, r2
-  br probe
-probe:
-  r6 = add r0, r5
-  r7 = tmload r6
-  r8 = cmp.neq r7, 0
-  condbr r8, check_used, terminal
-check_used:
-  r9 = tmload r6
-  r10 = cmp.eq r9, 2
-  condbr r10, advance, check_key
-check_key:
-  r11 = add r1, r5
-  r12 = tmload r11
-  r13 = cmp.neq r12, r3
-  condbr r13, advance, found
-advance:
-  r14 = add r5, 1
-  r5 = and r14, r2
-  br probe
-terminal:
-  condbr r4, do_insert, miss
-found:
-  tmend
-  ret 1
-miss:
-  tmend
-  ret 0
-do_insert:
-  r15 = add r0, r5
-  tmstore r15, 1
-  r16 = add r1, r5
-  tmstore r16, r3
-  tmend
-  ret 2
-}
-";
+pub const HASHTABLE_OP_SRC: &str = include_str!("../../../programs/ht_op.ir");
 
-/// Vacation reservation kernel (Algorithm 4).
+/// Vacation reservation kernel (see `programs/vac_reserve.ir`).
 ///
 /// Arguments: `r0` = offer-table base, `r1` = number of offers. Offers
 /// are 5-word records `id, numUsed, numFree, numTotal, price`. Scans all
 /// offers for the priciest one with a free unit and books it.
 /// Returns the booked record address, or -1.
-pub const VACATION_RESERVE_SRC: &str = r"
-; for each offer: if (numFree > 0 && price > max_price) remember; then book.
-func vac_reserve(2) {
-entry:
-  tmbegin
-  r2 = const 0
-  r3 = const -1
-  r4 = const -1
-  br loop
-loop:
-  r5 = cmp.lt r2, r1
-  condbr r5, body, book
-body:
-  r6 = mul r2, 5
-  r7 = add r0, r6
-  r8 = add r7, 2
-  r9 = tmload r8
-  r10 = cmp.gt r9, 0
-  condbr r10, chkprice, next
-chkprice:
-  r11 = add r7, 4
-  r12 = tmload r11
-  r13 = cmp.gt r12, r4
-  condbr r13, take, next
-take:
-  r14 = tmload r11
-  r4 = mov r14
-  r3 = mov r7
-  br next
-next:
-  r2 = add r2, 1
-  br loop
-book:
-  r15 = cmp.lt r3, 0
-  condbr r15, none, dobook
-dobook:
-  r16 = add r3, 2
-  r17 = tmload r16
-  r18 = sub r17, 1
-  tmstore r16, r18
-  r19 = add r3, 1
-  r20 = tmload r19
-  r21 = add r20, 1
-  tmstore r19, r21
-  tmend
-  ret r3
-none:
-  tmend
-  ret -1
-}
-";
+pub const VACATION_RESERVE_SRC: &str = include_str!("../../../programs/vac_reserve.ir");
 
-/// Guarded bank transfer.
+/// Guarded bank transfer (see `programs/bank_transfer.ir`).
 ///
 /// Arguments: `r0` = source account address, `r1` = destination account
 /// address, `r2` = amount. Returns 1 if the transfer happened, 0 if the
 /// overdraft check blocked it.
-pub const BANK_TRANSFER_SRC: &str = r"
-; if (*src >= amount) { *src -= amount; *dst += amount; }
-func bank_transfer(3) {
-entry:
-  tmbegin
-  r3 = tmload r0
-  r4 = cmp.gte r3, r2
-  condbr r4, do_move, skip
-do_move:
-  r5 = tmload r0
-  r6 = sub r5, r2
-  tmstore r0, r6
-  r7 = tmload r1
-  r8 = add r7, r2
-  tmstore r1, r8
-  tmend
-  ret 1
-skip:
-  tmend
-  ret 0
-}
-";
+pub const BANK_TRANSFER_SRC: &str = include_str!("../../../programs/bank_transfer.ir");
+
+/// Cross-block test-and-set guard (see `programs/cross_block_guard.ir`).
+///
+/// The lock word is loaded in the entry block but compared in a
+/// successor, so only the whole-function matcher promotes the guard to
+/// `_ITM_S1R`. Arguments: `r0` = lock address, `r1` = counter address.
+/// Returns 1 if the lock was acquired, 0 if it was already held.
+pub const CROSS_BLOCK_GUARD_SRC: &str = include_str!("../../../programs/cross_block_guard.ir");
 
 /// Parse the hashtable kernel.
 pub fn hashtable_op() -> Function {
@@ -164,6 +67,35 @@ pub fn vacation_reserve() -> Function {
 /// Parse the bank kernel.
 pub fn bank_transfer() -> Function {
     parse_function(BANK_TRANSFER_SRC).expect("bank_transfer parses")
+}
+
+/// Parse the cross-block guard kernel.
+pub fn cross_block_guard() -> Function {
+    parse_function(CROSS_BLOCK_GUARD_SRC).expect("cross_block_guard parses")
+}
+
+/// All builtin kernels, paired with the path of their `.ir` source
+/// relative to the repository root (used by the differential oracle and
+/// by `semlint --builtin`).
+pub fn all() -> Vec<(&'static str, Function)> {
+    vec![
+        ("programs/ht_op.ir", hashtable_op()),
+        ("programs/vac_reserve.ir", vacation_reserve()),
+        ("programs/bank_transfer.ir", bank_transfer()),
+        ("programs/cross_block_guard.ir", cross_block_guard()),
+    ]
+}
+
+/// The raw `.ir` sources of the builtin kernels, paired with their
+/// repository-relative paths (lets `semlint --builtin` re-parse them
+/// with source spans).
+pub fn sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("programs/ht_op.ir", HASHTABLE_OP_SRC),
+        ("programs/vac_reserve.ir", VACATION_RESERVE_SRC),
+        ("programs/bank_transfer.ir", BANK_TRANSFER_SRC),
+        ("programs/cross_block_guard.ir", CROSS_BLOCK_GUARD_SRC),
+    ]
 }
 
 #[cfg(test)]
@@ -265,6 +197,93 @@ mod tests {
             3,
             "S1R + 2x SW after dead-load elimination"
         );
+    }
+
+    #[test]
+    fn cross_block_guard_is_promoted_and_sheds_barriers() {
+        // The acceptance criterion for the whole-function matcher: the
+        // guard's load and compare live in different blocks, and the
+        // passes still fuse them into one _ITM_S1R.
+        let plain = cross_block_guard();
+        assert_eq!(plain.barrier_count(), 4, "2 loads + 2 stores before");
+        let mut passed = cross_block_guard();
+        let rep = run_tm_passes(&mut passed);
+        assert_eq!(rep.s1r, 1, "cross-block compare promoted: {rep:?}");
+        assert_eq!(rep.sw, 1, "counter bump promoted: {rep:?}");
+        assert_eq!(rep.loads_removed, 2, "{rep:?}");
+        assert!(
+            passed.barrier_count() < plain.barrier_count(),
+            "barrier count must drop: {} -> {}",
+            plain.barrier_count(),
+            passed.barrier_count()
+        );
+        assert_eq!(passed.barrier_count(), 3, "S1R + store + SW");
+    }
+
+    #[test]
+    fn cross_block_guard_executes_identically_after_passes() {
+        for passes in [false, true] {
+            for alg in [Algorithm::NOrec, Algorithm::SNOrec] {
+                let s = stm(alg);
+                let lock = s.alloc_cell(0i64);
+                let count = s.alloc_cell(0i64);
+                let mut f = cross_block_guard();
+                if passes {
+                    run_tm_passes(&mut f);
+                }
+                let interp = Interp::new(&s);
+                let args = vec![lock.index() as i64, count.index() as i64];
+                assert_eq!(interp.execute(&f, &args).unwrap(), Some(1), "acquired");
+                assert_eq!(interp.execute(&f, &args).unwrap(), Some(0), "held");
+                assert_eq!(s.read_now(lock), 1);
+                assert_eq!(s.read_now(count), 1, "bumped exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn passes_are_idempotent_with_exact_counts() {
+        // (s1r, s2r, sw, loads_removed, pure_removed) per kernel. A
+        // second run over already-transformed IR must find nothing left
+        // to rewrite — the builtins are terminal forms, not inputs to
+        // further matching.
+        let expected = [
+            ("programs/ht_op.ir", (3, 0, 0, 3, 0)),
+            ("programs/vac_reserve.ir", (2, 0, 2, 4, 2)),
+            ("programs/bank_transfer.ir", (1, 0, 2, 3, 2)),
+            ("programs/cross_block_guard.ir", (1, 0, 1, 2, 1)),
+        ];
+        for (path, mut f) in all() {
+            let want = expected
+                .iter()
+                .find(|(p, _)| *p == path)
+                .map(|(_, w)| *w)
+                .unwrap_or_else(|| panic!("no expectation for {path}"));
+            let rep = run_tm_passes(&mut f);
+            assert_eq!(
+                (
+                    rep.s1r,
+                    rep.s2r,
+                    rep.sw,
+                    rep.loads_removed,
+                    rep.pure_removed
+                ),
+                want,
+                "{path}: first run {rep:?}"
+            );
+            let again = run_tm_passes(&mut f);
+            assert_eq!(
+                (
+                    again.s1r,
+                    again.s2r,
+                    again.sw,
+                    again.loads_removed,
+                    again.pure_removed
+                ),
+                (0, 0, 0, 0, 0),
+                "{path}: second run must be a no-op, got {again:?}"
+            );
+        }
     }
 
     #[test]

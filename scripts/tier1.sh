@@ -16,4 +16,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> semlint (checked-in IR programs + differential oracle)"
+# Fails on any error-severity diagnostic, parse failure, or oracle
+# divergence; warnings (e.g. SL004 duplicate loads the passes fold) are
+# informational for the pre-pass sources.
+cargo run --release -q -p semtm-ir --bin semlint -- --oracle programs/*.ir
+
 echo "tier1: OK"
