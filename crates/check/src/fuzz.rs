@@ -1,0 +1,147 @@
+//! Cross-backend differential fuzzing: random programs, random
+//! schedules, all four algorithms checked against the serial oracle and
+//! the history checker.
+
+use crate::checker::check_history;
+use crate::history::{atomic_recorded, RecTx, Recorder};
+use crate::program::{POp, Program};
+use crate::schedule::RandomDriver;
+use crate::shrink::shrink;
+use crate::vthread::run_threads;
+use semtm_core::error::Abort;
+use semtm_core::util::SplitMix64;
+use semtm_core::{Addr, Algorithm, Stm, StmConfig};
+
+/// Probability (%) that the random driver preempts a runnable thread.
+const SWITCH_PCT: u32 = 40;
+/// Per-execution scheduling-step cap (livelock backstop).
+const STEP_CAP: usize = 50_000;
+
+/// Number of fuzz programs: `SEMTM_CHECK_ITERS` when set, else `dflt`.
+pub fn iterations(dflt: usize) -> usize {
+    std::env::var("SEMTM_CHECK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(dflt)
+}
+
+/// An [`Stm`] sized and tuned for scheduler-driven micro executions:
+/// tiny heap, short lock patience, minimal backoff.
+pub fn check_stm(alg: Algorithm) -> Stm {
+    let mut cfg = StmConfig::new(alg).heap_words(64).orec_count(16);
+    cfg.lock_wait_spins = 8;
+    cfg.backoff_min_spins = 1;
+    cfg.backoff_max_spins = 2;
+    Stm::new(cfg)
+}
+
+fn exec_op(rtx: &mut RecTx<'_, '_>, op: POp, base: Addr) -> Result<(), Abort> {
+    match op {
+        POp::Read(s) => {
+            rtx.read(base.offset(s))?;
+        }
+        POp::Write(s, v) => rtx.write(base.offset(s), v)?,
+        POp::Inc(s, d) => rtx.inc(base.offset(s), d)?,
+        POp::Cmp(s, op, c) => {
+            rtx.cmp(base.offset(s), op, c)?;
+        }
+        POp::CmpAddr(a, op, b) => {
+            rtx.cmp_addr(base.offset(a), op, base.offset(b))?;
+        }
+        POp::Guard(s, op, c, s2, d) => {
+            if rtx.cmp(base.offset(s), op, c)? {
+                rtx.inc(base.offset(s2), d)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run `program` once on `alg` under the random schedule `sched_seed`,
+/// recording the full history. Errors describe any divergence from the
+/// serial oracle or any checker violation, with enough context to
+/// replay.
+pub fn run_program(program: &Program, alg: Algorithm, sched_seed: u64) -> Result<(), String> {
+    let stm = check_stm(alg);
+    let base = stm.alloc(program.slots);
+    for (i, v) in program.init.iter().enumerate() {
+        stm.write_now(base.offset(i), *v);
+    }
+    let rec = Recorder::new();
+
+    let shared = (&stm, &rec, program, base);
+    type Shared<'a> = (&'a Stm, &'a Recorder, &'a Program, Addr);
+    let body = |tid: usize, shared: &Shared<'_>| {
+        let (stm, rec, program, base) = *shared;
+        for tx in &program.threads[tid] {
+            atomic_recorded(stm, rec, tid, |rtx| {
+                for &op in tx {
+                    exec_op(rtx, op, base)?;
+                }
+                Ok(())
+            });
+        }
+    };
+    let bodies: Vec<crate::vthread::Body<'_, Shared<'_>>> =
+        program.threads.iter().map(|_| &body as _).collect();
+
+    let mut driver = RandomDriver::new(sched_seed, SWITCH_PCT);
+    let outcome = run_threads(&shared, &bodies, &mut driver, STEP_CAP);
+    if outcome.capped {
+        return Err(format!(
+            "{alg}: step cap {STEP_CAP} exceeded (livelock?) after {} steps",
+            outcome.steps
+        ));
+    }
+
+    let final_mem: Vec<i64> = (0..program.slots)
+        .map(|i| stm.read_now(base.offset(i)))
+        .collect();
+    if !program.serial_outcomes().contains(&final_mem) {
+        return Err(format!(
+            "{alg}: final state {final_mem:?} is outside the serial oracle set \
+             {:?} (init {:?})",
+            program.serial_outcomes(),
+            program.init
+        ));
+    }
+
+    let init: Vec<(Addr, i64)> = program
+        .init
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (base.offset(i), *v))
+        .collect();
+    let fin: Vec<(Addr, i64)> = final_mem
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (base.offset(i), *v))
+        .collect();
+    check_history(&rec.attempts(), &init, &fin).map_err(|e| format!("{alg}: {e}"))
+}
+
+/// Fuzz `programs` random programs, each on every algorithm, under
+/// independently seeded random schedules derived from `base_seed`.
+///
+/// On failure the failing program is minimized with [`shrink`] and the
+/// panic message carries the program, algorithm, program seed, and
+/// schedule seed — everything needed to replay.
+pub fn run_differential(programs: usize, base_seed: u64) {
+    let mut seeder = SplitMix64::new(base_seed);
+    for i in 0..programs {
+        let prog_seed = seeder.next_u64();
+        let sched_seed = seeder.next_u64();
+        let mut rng = SplitMix64::new(prog_seed);
+        let program = Program::generate(&mut rng);
+        for alg in Algorithm::ALL {
+            if let Err(msg) = run_program(&program, alg, sched_seed) {
+                let minimized = shrink(&program, |p| run_program(p, alg, sched_seed).is_err());
+                panic!(
+                    "differential fuzz failure at program {i}/{programs} on {alg} \
+                     (program seed {prog_seed:#x}, schedule seed {sched_seed:#x}, \
+                     base seed {base_seed:#x}): {msg}\nminimized program: {minimized:#?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # semtm-check — deterministic schedule exploration for the semantic STM
+//!
+//! A hand-rolled, zero-dependency loom/shuttle-style concurrency harness
+//! for the `semtm-core` algorithms (NOrec, S-NOrec, TL2, S-TL2):
+//!
+//! * [`vthread`] — N transaction bodies as coroutines-on-real-threads
+//!   with exactly one runnable at a time, driven by a schedule
+//!   [`Driver`](schedule::Driver);
+//! * [`schedule`] — exhaustive bounded-preemption DFS
+//!   ([`DfsDriver`](schedule::DfsDriver)) and seeded, replayable random
+//!   walks ([`RandomDriver`](schedule::RandomDriver));
+//! * [`history`] — a recorder logging every `begin`/`read`/`cmp`/`inc`/
+//!   `write`/`commit`/`abort` with global sequence stamps;
+//! * [`checker`] — final-state serializability and zombie-freedom over
+//!   recorded histories;
+//! * [`program`] + [`fuzz`] + [`shrink`] — the cross-backend
+//!   differential fuzzer: random transaction programs, executed on all
+//!   four algorithms under random schedules, compared against a serial
+//!   oracle, with failing programs minimized before reporting.
+//!
+//! The instrumentation side lives in `semtm-core` behind the `shuttle`
+//! feature (`sched::point()` / `sched::spin()`), which this crate always
+//! enables; normal builds of the core compile the points away.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use semtm_check::schedule::{explore_exhaustive, ExploreOptions};
+//! use semtm_check::vthread::run_threads;
+//! use semtm_check::fuzz::check_stm;
+//! use semtm_core::Algorithm;
+//!
+//! // Explore every schedule (≤2 preemptions) of two racing increments.
+//! let explored = explore_exhaustive(
+//!     ExploreOptions { max_preemptions: 2, ..ExploreOptions::default() },
+//!     |driver| {
+//!         let stm = check_stm(Algorithm::SNOrec);
+//!         let x = stm.alloc_cell(0i64);
+//!         let body = |_tid: usize, stm: &semtm_core::Stm| {
+//!             stm.atomic(|tx| tx.inc(x, 1));
+//!         };
+//!         run_threads(&stm, &[&body, &body], driver, 10_000);
+//!         if stm.read_now(x) == 2 { Ok(()) } else { Err("lost update".into()) }
+//!     },
+//! );
+//! assert!(explored > 1);
+//! ```
+//!
+//! Failing explorations panic with a replay seed (random mode) or the
+//! decision schedule (exhaustive mode); see DESIGN.md §"Testing
+//! strategy" for how to replay them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod fuzz;
+pub mod history;
+pub mod program;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+pub mod vthread;

@@ -1,0 +1,228 @@
+//! Random transaction programs over a small heap, plus the serial
+//! oracle that enumerates every outcome a serializable execution may
+//! produce.
+
+use semtm_core::ops::CmpOp;
+use semtm_core::util::SplitMix64;
+use std::collections::BTreeSet;
+
+/// One operation of a generated transaction. Slots index into the
+/// program's small heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum POp {
+    /// `TM_READ(slot)`.
+    Read(usize),
+    /// `TM_WRITE(slot, value)`.
+    Write(usize, i64),
+    /// `TM_INC(slot, delta)`.
+    Inc(usize, i64),
+    /// `TM_GT/…(slot, const)`.
+    Cmp(usize, CmpOp, i64),
+    /// `TM_GT/…(slot, slot)` — the address–address form.
+    CmpAddr(usize, CmpOp, usize),
+    /// `if cmp(slot, op, c) { inc(slot2, delta) }` — control flow that
+    /// depends on an observation, the pattern semantic validation is for.
+    Guard(usize, CmpOp, i64, usize, i64),
+}
+
+/// One transaction: its ops in program order.
+pub type TxProg = Vec<POp>;
+
+/// A complete multi-threaded program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Number of heap slots.
+    pub slots: usize,
+    /// Initial slot values.
+    pub init: Vec<i64>,
+    /// Per-thread transaction sequences.
+    pub threads: Vec<Vec<TxProg>>,
+}
+
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Gt,
+    CmpOp::Gte,
+    CmpOp::Lt,
+    CmpOp::Lte,
+    CmpOp::Eq,
+    CmpOp::Neq,
+];
+
+impl Program {
+    /// Generate a random program: 3–5 slots, 2–3 threads, 1–2 txs per
+    /// thread, 1–4 ops per tx, constants in −3..=3.
+    pub fn generate(rng: &mut SplitMix64) -> Program {
+        let slots = 3 + rng.index(3);
+        let init: Vec<i64> = (0..slots).map(|_| rng.below(7) as i64 - 3).collect();
+        let n_threads = 2 + rng.index(2);
+        let mut threads = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let n_txs = 1 + rng.index(2);
+            let mut txs = Vec::with_capacity(n_txs);
+            for _ in 0..n_txs {
+                let n_ops = 1 + rng.index(4);
+                let mut ops = Vec::with_capacity(n_ops);
+                for _ in 0..n_ops {
+                    let s = rng.index(slots);
+                    let c = rng.below(7) as i64 - 3;
+                    let op = CMP_OPS[rng.index(CMP_OPS.len())];
+                    ops.push(match rng.index(6) {
+                        0 => POp::Read(s),
+                        1 => POp::Write(s, c),
+                        2 => POp::Inc(s, if c == 0 { 1 } else { c }),
+                        3 => POp::Cmp(s, op, c),
+                        4 => POp::CmpAddr(s, op, rng.index(slots)),
+                        _ => POp::Guard(s, op, c, rng.index(slots), if c == 0 { 1 } else { c }),
+                    });
+                }
+                txs.push(ops);
+            }
+            threads.push(txs);
+        }
+        Program {
+            slots,
+            init,
+            threads,
+        }
+    }
+
+    /// Total number of transactions across all threads.
+    pub fn tx_count(&self) -> usize {
+        self.threads.iter().map(|t| t.len()).sum()
+    }
+
+    /// Apply one transaction to `mem` as if it ran alone (serially).
+    fn apply_tx(tx: &TxProg, mem: &mut [i64]) {
+        for op in tx {
+            match *op {
+                POp::Read(_) | POp::Cmp(..) | POp::CmpAddr(..) => {}
+                POp::Write(s, v) => mem[s] = v,
+                POp::Inc(s, d) => mem[s] = mem[s].wrapping_add(d),
+                POp::Guard(s, op, c, s2, d) => {
+                    if op.eval(mem[s], c) {
+                        mem[s2] = mem[s2].wrapping_add(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every final memory state some serial order of the transactions
+    /// (respecting per-thread program order) can produce. This is the
+    /// oracle the differential fuzzer compares all four algorithms
+    /// against: a serializable STM must land in this set.
+    pub fn serial_outcomes(&self) -> BTreeSet<Vec<i64>> {
+        let mut outcomes = BTreeSet::new();
+        let mut cursors = vec![0usize; self.threads.len()];
+        let mut mem = self.init.clone();
+        self.enumerate(&mut cursors, &mut mem, &mut outcomes);
+        outcomes
+    }
+
+    fn enumerate(
+        &self,
+        cursors: &mut [usize],
+        mem: &mut Vec<i64>,
+        outcomes: &mut BTreeSet<Vec<i64>>,
+    ) {
+        let mut any = false;
+        for t in 0..self.threads.len() {
+            if cursors[t] < self.threads[t].len() {
+                any = true;
+                let saved = mem.clone();
+                Self::apply_tx(&self.threads[t][cursors[t]], mem);
+                cursors[t] += 1;
+                self.enumerate(cursors, mem, outcomes);
+                cursors[t] -= 1;
+                *mem = saved;
+            }
+        }
+        if !any {
+            outcomes.insert(mem.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_enumerates_all_serial_orders() {
+        // T0: x = 1 ; T1: x = 2 — two possible final states.
+        let p = Program {
+            slots: 1,
+            init: vec![0],
+            threads: vec![vec![vec![POp::Write(0, 1)]], vec![vec![POp::Write(0, 2)]]],
+        };
+        let out = p.serial_outcomes();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&vec![1]) && out.contains(&vec![2]));
+    }
+
+    #[test]
+    fn oracle_respects_program_order_within_a_thread() {
+        // One thread, two txs: x=1 then x+=10. Only 11 is reachable.
+        let p = Program {
+            slots: 1,
+            init: vec![0],
+            threads: vec![vec![vec![POp::Write(0, 1)], vec![POp::Inc(0, 10)]]],
+        };
+        assert_eq!(p.serial_outcomes(), BTreeSet::from([vec![11]]));
+    }
+
+    #[test]
+    fn guard_makes_outcomes_order_dependent() {
+        // T0: if x > 0 { y += 1 } ; T1: x = -1. y ends at 1 or 0
+        // depending on the order.
+        let p = Program {
+            slots: 2,
+            init: vec![5, 0],
+            threads: vec![
+                vec![vec![POp::Guard(0, CmpOp::Gt, 0, 1, 1)]],
+                vec![vec![POp::Write(0, -1)]],
+            ],
+        };
+        let out = p.serial_outcomes();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&vec![-1, 1]) && out.contains(&vec![-1, 0]));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(Program::generate(&mut a), Program::generate(&mut b));
+        let mut c = SplitMix64::new(8);
+        assert_ne!(Program::generate(&mut a), Program::generate(&mut c));
+    }
+
+    #[test]
+    fn generated_programs_stay_in_bounds() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let p = Program::generate(&mut rng);
+            assert!((3..=5).contains(&p.slots));
+            assert_eq!(p.init.len(), p.slots);
+            assert!((2..=3).contains(&p.threads.len()));
+            for txs in &p.threads {
+                assert!((1..=2).contains(&txs.len()));
+                for tx in txs {
+                    assert!((1..=4).contains(&tx.len()));
+                    for op in tx {
+                        let ok = match *op {
+                            POp::Read(s)
+                            | POp::Write(s, _)
+                            | POp::Inc(s, _)
+                            | POp::Cmp(s, _, _) => s < p.slots,
+                            POp::CmpAddr(a, _, b) => a < p.slots && b < p.slots,
+                            POp::Guard(a, _, _, b, _) => a < p.slots && b < p.slots,
+                        };
+                        assert!(ok, "slot out of bounds in {op:?}");
+                    }
+                }
+            }
+            assert!(!p.serial_outcomes().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared exploration scenarios used both by the clean-run smoke tests
+//! and the fault-injection regression tests.
+//!
+//! Each function runs one two-thread scenario under the given schedule
+//! driver, records the full history, and checks it. With the algorithms
+//! unmodified every bounded schedule passes; with the corresponding
+//! fault armed (`semtm_core::fault`) some schedule commits a
+//! non-serializable history and the checker reports it.
+
+use crate::checker::check_history;
+use crate::fuzz::check_stm;
+use crate::history::{atomic_recorded, Recorder};
+use crate::schedule::Driver;
+use crate::vthread::run_threads;
+use semtm_core::ops::CmpOp;
+use semtm_core::{Algorithm, Stm};
+
+const STEP_CAP: usize = 20_000;
+
+type Shared<'a> = (&'a Stm, &'a Recorder);
+
+/// S-NOrec revalidation scenario (the bug: skipping the per-entry
+/// semantic re-check during `Validate`).
+///
+/// `T0: if x > 0 { out = 1 }; read y` vs `T1: x = -5; y = 1` (one tx).
+/// If T1 commits between T0's `cmp` and its read of `y`, a correct
+/// S-NOrec revalidates `x > 0` (now false) and aborts T0's attempt.
+/// Skipping revalidation lets T0 commit having observed both
+/// `x > 0 == true` and `y == 1` — no serial order explains that
+/// (`[T0,T1]` gives `y = 0`; `[T1,T0]` gives `x > 0` false).
+pub fn snorec_revalidation(driver: &mut dyn Driver) -> Result<(), String> {
+    let stm = check_stm(Algorithm::SNOrec);
+    let x = stm.alloc_cell(5i64);
+    let y = stm.alloc_cell(0i64);
+    let out = stm.alloc_cell(0i64);
+    let rec = Recorder::new();
+    let shared = (&stm, &rec);
+    let t0 = |tid: usize, (stm, rec): &Shared<'_>| {
+        atomic_recorded(stm, rec, tid, |tx| {
+            if tx.cmp(x, CmpOp::Gt, 0)? {
+                tx.write(out, 1)?;
+            }
+            tx.read(y).map(|_| ())
+        });
+    };
+    let t1 = |tid: usize, (stm, rec): &Shared<'_>| {
+        atomic_recorded(stm, rec, tid, |tx| {
+            tx.write(x, -5)?;
+            tx.write(y, 1)
+        });
+    };
+    let o = run_threads(&shared, &[&t0, &t1], driver, STEP_CAP);
+    if o.capped {
+        return Err("step cap exceeded".into());
+    }
+    check_history(
+        &rec.attempts(),
+        &[(x, 5), (y, 0), (out, 0)],
+        &[
+            (x, stm.read_now(x)),
+            (y, stm.read_now(y)),
+            (out, stm.read_now(out)),
+        ],
+    )
+}
+
+/// TL2 commit-time read-validation scenario (the bug: skipping
+/// `ValidateReadSet` when the commit timestamp moved).
+///
+/// `T0: read x; y = 2` vs `T1: x = -5; y = 1` (one tx). If T1 commits
+/// inside T0's execution window, a correct TL2 sees x's orec newer than
+/// T0's start version at commit and aborts. Skipping read validation
+/// publishes `y = 2` while T0 observed the pre-T1 `x = 5` — with final
+/// memory `x = -5, y = 2`, neither serial order fits (`[T0,T1]` ends
+/// with `y = 1`; `[T1,T0]` means T0 read `x = -5`).
+pub fn tl2_read_validation(driver: &mut dyn Driver) -> Result<(), String> {
+    let stm = check_stm(Algorithm::Tl2);
+    let x = stm.alloc_cell(5i64);
+    let y = stm.alloc_cell(0i64);
+    let rec = Recorder::new();
+    let shared = (&stm, &rec);
+    let t0 = |tid: usize, (stm, rec): &Shared<'_>| {
+        atomic_recorded(stm, rec, tid, |tx| {
+            tx.read(x)?;
+            tx.write(y, 2)
+        });
+    };
+    let t1 = |tid: usize, (stm, rec): &Shared<'_>| {
+        atomic_recorded(stm, rec, tid, |tx| {
+            tx.write(x, -5)?;
+            tx.write(y, 1)
+        });
+    };
+    let o = run_threads(&shared, &[&t0, &t1], driver, STEP_CAP);
+    if o.capped {
+        return Err("step cap exceeded".into());
+    }
+    check_history(
+        &rec.attempts(),
+        &[(x, 5), (y, 0)],
+        &[(x, stm.read_now(x)), (y, stm.read_now(y))],
+    )
+}

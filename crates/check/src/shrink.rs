@@ -1,0 +1,137 @@
+//! Failing-program minimization: greedily remove structure while the
+//! failure reproduces, so reports show the smallest program that still
+//! breaks.
+
+use crate::program::{POp, Program};
+
+/// Shrink `program` to a (local) minimum under `fails`. `fails` must be
+/// `true` for the input program; every candidate simplification is kept
+/// only if it still fails.
+pub fn shrink(program: &Program, mut fails: impl FnMut(&Program) -> bool) -> Program {
+    let mut best = program.clone();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart from the smaller program
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// One-step simplifications, most aggressive first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // Drop a whole thread (keep at least one).
+    if p.threads.len() > 1 {
+        for t in 0..p.threads.len() {
+            let mut q = p.clone();
+            q.threads.remove(t);
+            out.push(q);
+        }
+    }
+    // Drop one transaction.
+    for t in 0..p.threads.len() {
+        if p.threads[t].len() > 1 {
+            for x in 0..p.threads[t].len() {
+                let mut q = p.clone();
+                q.threads[t].remove(x);
+                out.push(q);
+            }
+        }
+    }
+    // Drop one op.
+    for t in 0..p.threads.len() {
+        for x in 0..p.threads[t].len() {
+            if p.threads[t][x].len() > 1 {
+                for o in 0..p.threads[t][x].len() {
+                    let mut q = p.clone();
+                    q.threads[t][x].remove(o);
+                    out.push(q);
+                }
+            }
+        }
+    }
+    // Zero a constant (or collapse it toward the simplest value).
+    for t in 0..p.threads.len() {
+        for x in 0..p.threads[t].len() {
+            for o in 0..p.threads[t][x].len() {
+                let simpler = match p.threads[t][x][o] {
+                    POp::Write(s, v) if v != 0 => Some(POp::Write(s, 0)),
+                    POp::Inc(s, d) if d != 1 => Some(POp::Inc(s, 1)),
+                    POp::Cmp(s, op, c) if c != 0 => Some(POp::Cmp(s, op, 0)),
+                    POp::Guard(s, op, c, s2, d) if c != 0 || d != 1 => {
+                        Some(POp::Guard(s, op, 0, s2, 1))
+                    }
+                    _ => None,
+                };
+                if let Some(op) = simpler {
+                    let mut q = p.clone();
+                    q.threads[t][x][o] = op;
+                    out.push(q);
+                }
+            }
+        }
+    }
+    // Zero an initial value.
+    for s in 0..p.slots {
+        if p.init[s] != 0 {
+            let mut q = p.clone();
+            q.init[s] = 0;
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semtm_core::ops::CmpOp;
+
+    #[test]
+    fn shrink_reaches_a_minimal_program() {
+        // Failure criterion: some thread writes to slot 0. Everything
+        // else should shrink away.
+        let p = Program {
+            slots: 3,
+            init: vec![5, -2, 1],
+            threads: vec![
+                vec![
+                    vec![POp::Read(1), POp::Write(0, 3), POp::Cmp(2, CmpOp::Gt, 1)],
+                    vec![POp::Inc(2, 2)],
+                ],
+                vec![vec![POp::Read(2)]],
+            ],
+        };
+        let writes_slot0 = |p: &Program| {
+            p.threads
+                .iter()
+                .flatten()
+                .flatten()
+                .any(|op| matches!(op, POp::Write(0, _)))
+        };
+        assert!(writes_slot0(&p));
+        let m = shrink(&p, writes_slot0);
+        assert_eq!(m.threads.len(), 1);
+        assert_eq!(m.threads[0].len(), 1);
+        assert_eq!(m.threads[0][0], vec![POp::Write(0, 0)]);
+        assert_eq!(m.init, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_simpler_fails() {
+        let p = Program {
+            slots: 1,
+            init: vec![0],
+            threads: vec![vec![vec![POp::Inc(0, 1)]]],
+        };
+        let m = shrink(&p, |q| q == &p);
+        assert_eq!(m, p);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regression test: the harness catches a deliberately reintroduced
+//! S-NOrec bug (skipping the per-entry semantic revalidation during
+//! `Validate`, i.e. after a snapshot extension).
+//!
+//! Faults are process-global, so this file holds exactly one test and
+//! lives in its own integration-test binary (own process). The same
+//! scenario runs *unfaulted* across all schedules in
+//! `tests/scheduler_smoke.rs`, proving the panic here is the armed
+//! fault and nothing else.
+
+use semtm_check::scenario;
+use semtm_check::schedule::{explore_exhaustive, ExploreOptions};
+use semtm_core::fault;
+
+#[test]
+#[should_panic(expected = "no real-time-consistent serial order")]
+fn skipped_snorec_revalidation_is_caught_by_the_checker() {
+    fault::arm(fault::SNOREC_SKIP_REVALIDATION);
+    explore_exhaustive(
+        ExploreOptions {
+            max_preemptions: 3,
+            max_executions: 0,
+            step_cap: 20_000,
+        },
+        |driver| scenario::snorec_revalidation(driver),
+    );
+}

@@ -1,0 +1,26 @@
+//! Regression test: the harness catches a deliberately reintroduced
+//! TL2 bug (skipping commit-time read-set validation when the commit
+//! timestamp moved past the start version).
+//!
+//! Faults are process-global, so this file holds exactly one test and
+//! lives in its own integration-test binary (own process). The same
+//! scenario runs *unfaulted* across all schedules in
+//! `tests/scheduler_smoke.rs`.
+
+use semtm_check::scenario;
+use semtm_check::schedule::{explore_exhaustive, ExploreOptions};
+use semtm_core::fault;
+
+#[test]
+#[should_panic(expected = "no real-time-consistent serial order")]
+fn skipped_tl2_read_validation_is_caught_by_the_checker() {
+    fault::arm(fault::TL2_SKIP_READ_VALIDATION);
+    explore_exhaustive(
+        ExploreOptions {
+            max_preemptions: 3,
+            max_executions: 0,
+            step_cap: 20_000,
+        },
+        |driver| scenario::tl2_read_validation(driver),
+    );
+}

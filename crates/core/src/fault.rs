@@ -1,0 +1,64 @@
+//! Runtime-gated fault injection for checker regression tests.
+//!
+//! The `semtm-check` harness proves it can *catch* bugs by deliberately
+//! reintroducing known ones: each constant below names a specific
+//! validation step an algorithm may (incorrectly) skip. Without the
+//! `fault-injection` feature [`active`] is a const `false` and the gates
+//! compile away; with it, a test process arms a bit via [`arm`] and the
+//! corresponding `#[should_panic]` test asserts the history checker
+//! flags the resulting non-serializable execution.
+//!
+//! Faults are process-global, so each `#[should_panic]` regression test
+//! lives in its own integration-test file (own process).
+
+/// S-NOrec: skip the per-entry semantic revalidation of the read/compare
+/// set during [`validate`](crate::norec), committing on a stale snapshot.
+pub const SNOREC_SKIP_REVALIDATION: u32 = 1 << 0;
+
+/// TL2/S-TL2: skip commit-time read-set validation when the commit
+/// timestamp moved past the start version, publishing writes that were
+/// derived from since-overwritten reads.
+pub const TL2_SKIP_READ_VALIDATION: u32 = 1 << 1;
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static FAULTS: AtomicU32 = AtomicU32::new(0);
+
+    /// Arm exactly the faults in `mask` (replacing any previous mask).
+    pub fn arm(mask: u32) {
+        FAULTS.store(mask, Ordering::SeqCst);
+    }
+
+    /// Whether the fault `bit` is currently armed.
+    #[inline]
+    pub fn active(bit: u32) -> bool {
+        FAULTS.load(Ordering::Relaxed) & bit != 0
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use armed::{active, arm};
+
+/// Whether the fault `bit` is armed — always `false` in this build.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn active(_bit: u32) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_sets_exactly_the_mask() {
+        assert!(!active(SNOREC_SKIP_REVALIDATION));
+        arm(SNOREC_SKIP_REVALIDATION);
+        assert!(active(SNOREC_SKIP_REVALIDATION));
+        assert!(!active(TL2_SKIP_READ_VALIDATION));
+        arm(0);
+        assert!(!active(SNOREC_SKIP_REVALIDATION));
+    }
+}

@@ -68,10 +68,12 @@
 pub mod cm;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod norec;
 pub mod ops;
 pub mod ring;
+pub mod sched;
 pub mod sets;
 pub mod stats;
 pub mod stm;

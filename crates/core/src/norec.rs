@@ -16,9 +16,11 @@
 //! mirroring how unmodified libitm delegates the new ABI calls.
 
 use crate::error::Abort;
+use crate::fault;
 use crate::heap::{Addr, Heap};
 use crate::ops::CmpOp;
 use crate::ring::{filter_bit, FilterRing};
+use crate::sched;
 use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
 use crate::util::SpinWait;
@@ -108,11 +110,13 @@ impl<'a> NorecTx<'a> {
         self.read_filter = 0;
         let mut wait = SpinWait::new();
         loop {
+            sched::point(sched::PointKind::NorecBegin);
             let s = self.global.load();
             if s & 1 == 0 {
                 self.snapshot = s;
                 return;
             }
+            sched::spin();
             wait.spin();
         }
     }
@@ -124,8 +128,10 @@ impl<'a> NorecTx<'a> {
     fn validate(&mut self) -> Result<u64, Abort> {
         let mut wait = SpinWait::new();
         loop {
+            sched::point(sched::PointKind::NorecValidate);
             let time = self.global.load();
             if time & 1 != 0 {
+                sched::spin();
                 wait.spin();
                 continue;
             }
@@ -142,13 +148,14 @@ impl<'a> NorecTx<'a> {
                     .union(self.snapshot, time)
                     .map(|missed| missed & self.read_filter == 0)
                     .unwrap_or(false);
-            if !fast_clear {
+            if !fast_clear && !fault::active(fault::SNOREC_SKIP_REVALIDATION) {
                 for e in &self.reads {
                     if !e.holds(self.heap) {
                         return Err(Abort::validation());
                     }
                 }
             }
+            sched::point(sched::PointKind::NorecValidateRecheck);
             if time == self.global.load() {
                 self.snapshot = time;
                 return Ok(time);
@@ -159,9 +166,11 @@ impl<'a> NorecTx<'a> {
     /// Algorithm 6 `ReadValid` (lines 10–16): read a word, re-validating
     /// (and moving the snapshot forward) whenever the global lock moved.
     fn read_valid(&mut self, addr: Addr) -> Result<i64, Abort> {
+        sched::point(sched::PointKind::NorecRead);
         let mut val = self.heap.tm_load(addr);
         while self.snapshot != self.global.load() {
             self.snapshot = self.validate()?;
+            sched::point(sched::PointKind::NorecRead);
             val = self.heap.tm_load(addr);
         }
         Ok(val)
@@ -304,9 +313,16 @@ impl<'a> NorecTx<'a> {
             return Ok(());
         }
         let mut snap = self.snapshot;
-        while !self.global.try_acquire(snap) {
+        loop {
+            sched::point(sched::PointKind::NorecCommitAcquire);
+            if self.global.try_acquire(snap) {
+                break;
+            }
             snap = self.validate()?;
         }
+        // Lock held: from here through `release` the write-back is one
+        // atomic step of the virtual schedule (no further sched points).
+        sched::point(sched::PointKind::NorecWriteback);
         let mut write_filter = 0u64;
         for (addr, e) in self.writes.iter() {
             let v = match e.kind {

@@ -165,6 +165,13 @@ impl Stm {
                     if histograms {
                         self.telemetry.record_backoff(spins);
                     }
+                    // Under the deterministic scheduler, retrying after an
+                    // abort is a futile-wait iteration (the conflicting
+                    // transaction must be scheduled for the retry to fare
+                    // better), so report it as a spin — otherwise a
+                    // default-continue explorer replays the aborting
+                    // thread forever.
+                    crate::sched::spin();
                     if abort.reason != AbortReason::Explicit {
                         attempt = attempt.saturating_add(1);
                     }

@@ -30,8 +30,10 @@
 pub mod orec;
 
 use crate::error::Abort;
+use crate::fault;
 use crate::heap::{Addr, Heap};
 use crate::ops::CmpOp;
+use crate::sched;
 use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
 use crate::util::{thread_token, SpinWait};
@@ -118,6 +120,7 @@ impl<'a> Tl2Tx<'a> {
         self.reads.clear();
         self.compares.clear();
         self.writes.clear();
+        sched::point(sched::PointKind::Tl2Begin);
         self.start_version = self.global.now();
     }
 
@@ -135,6 +138,7 @@ impl<'a> Tl2Tx<'a> {
             if !o.locked_by_other(self.owner) {
                 return Ok(o);
             }
+            sched::spin();
             wait.spin();
         }
         Err(Abort::timeout())
@@ -165,6 +169,7 @@ impl<'a> Tl2Tx<'a> {
     /// data load. Appends the orec to the read-set.
     fn read_validated(&mut self, addr: Addr) -> Result<i64, Abort> {
         let oi = self.orec_index(addr);
+        sched::point(sched::PointKind::Tl2Read);
         let l1 = self.global.orecs.load(oi);
         if l1.is_locked() {
             debug_assert!(
@@ -174,6 +179,7 @@ impl<'a> Tl2Tx<'a> {
             return Err(Abort::locked());
         }
         let val = self.heap.tm_load(addr);
+        sched::point(sched::PointKind::Tl2ReadWindow);
         let l2 = self.global.orecs.load(oi);
         if l1 != l2 || l1.version() > self.start_version {
             return Err(Abort::validation());
@@ -212,16 +218,19 @@ impl<'a> Tl2Tx<'a> {
     fn patient_read(&mut self, addr: Addr) -> Result<(i64, OrecWord), Abort> {
         let oi = self.orec_index(addr);
         loop {
+            sched::point(sched::PointKind::Tl2Read);
             let l1 = self.wait_unlocked(oi)?;
             if l1.is_locked() {
                 // locked by self — cannot happen outside commit
                 return Err(Abort::locked());
             }
             let val = self.heap.tm_load(addr);
+            sched::point(sched::PointKind::Tl2ReadWindow);
             let l2 = self.global.orecs.load(oi);
             if l1 == l2 {
                 return Ok((val, l1));
             }
+            sched::spin();
             std::hint::spin_loop(); // transient: l1 != l2 resolves fast
         }
     }
@@ -231,6 +240,7 @@ impl<'a> Tl2Tx<'a> {
     /// (Algorithm 7 lines 19–25).
     fn extend_snapshot(&mut self) -> Result<(), Abort> {
         loop {
+            sched::point(sched::PointKind::Tl2Extend);
             let time = self.global.now();
             self.validate_compare_set()?;
             if time == self.global.now() {
@@ -267,11 +277,13 @@ impl<'a> Tl2Tx<'a> {
             // Phase 2: consistency with previous reads is mandatory; the
             // snapshot can no longer move (lines 26–34).
             let oi = self.orec_index(addr);
+            sched::point(sched::PointKind::Tl2Read);
             let l1 = self.global.orecs.load(oi);
             if l1.locked_by_other(self.owner) {
                 return Err(Abort::locked());
             }
             let val = self.heap.tm_load(addr);
+            sched::point(sched::PointKind::Tl2ReadWindow);
             let l2 = self.global.orecs.load(oi);
             if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
                 return Err(Abort::validation());
@@ -335,11 +347,13 @@ impl<'a> Tl2Tx<'a> {
     /// (the caller appends a compare entry instead).
     fn phase2_load(&mut self, addr: Addr) -> Result<i64, Abort> {
         let oi = self.orec_index(addr);
+        sched::point(sched::PointKind::Tl2Read);
         let l1 = self.global.orecs.load(oi);
         if l1.locked_by_other(self.owner) {
             return Err(Abort::locked());
         }
         let val = self.heap.tm_load(addr);
+        sched::point(sched::PointKind::Tl2ReadWindow);
         let l2 = self.global.orecs.load(oi);
         if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
             return Err(Abort::validation());
@@ -412,10 +426,12 @@ impl<'a> Tl2Tx<'a> {
         for oi in targets {
             let mut acquired = false;
             let mut wait = SpinWait::new();
+            sched::point(sched::PointKind::Tl2LockCas);
             for _ in 0..self.lock_wait_spins {
                 let o = self.global.orecs.load(oi);
                 if o.is_locked() {
                     debug_assert!(o.owner() != self.owner);
+                    sched::spin();
                     wait.spin();
                     continue;
                 }
@@ -462,6 +478,7 @@ impl<'a> Tl2Tx<'a> {
         // no other writer committed between the semantic validation and
         // our serialisation point.
         let time = loop {
+            sched::point(sched::PointKind::Tl2CommitCas);
             let time = self.global.now();
             if time != self.start_version {
                 if let Err(e) = self.validate_compare_set() {
@@ -475,13 +492,16 @@ impl<'a> Tl2Tx<'a> {
         };
         let write_version = time + 1;
 
-        if time != self.start_version {
+        if time != self.start_version && !fault::active(fault::TL2_SKIP_READ_VALIDATION) {
             if let Err(e) = self.validate_read_set() {
                 self.release_locks_rollback();
                 return Err(e);
             }
         }
 
+        // Locks held, clock advanced: from here through the lock release
+        // the write-back is one atomic step of the virtual schedule.
+        sched::point(sched::PointKind::Tl2Writeback);
         for (addr, e) in self.writes.iter() {
             let v = match e.kind {
                 WriteKind::Store => e.value,

@@ -12,7 +12,7 @@
 //!
 //! Invariant: total money is conserved.
 
-use crate::driver::{run_for_duration, run_for_duration_sampled, RunResult};
+use crate::driver::{run_fixed_work, run_for_duration, run_for_duration_sampled, RunResult};
 use semtm_core::util::SplitMix64;
 use semtm_core::{Abort, SamplePoint, Stm, TArray, Tx};
 use std::time::Duration;
@@ -156,6 +156,25 @@ pub fn run(
 ) -> RunResult {
     let bank = Bank::new(stm, config);
     let r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
+        bank.transfer_tx(stm, rng);
+    });
+    bank.verify(stm).expect("bank invariant violated");
+    r
+}
+
+/// Fixed-work run: exactly `total_ops` transfer transactions split
+/// across `threads`. Deterministic operation count, so tests can assert
+/// the exact accounting identity `stats.commits == total_ops` (the bank
+/// pre-populates its accounts non-transactionally: no setup commits).
+pub fn run_fixed(
+    stm: &Stm,
+    config: BankConfig,
+    threads: usize,
+    total_ops: u64,
+    seed: u64,
+) -> RunResult {
+    let bank = Bank::new(stm, config);
+    let r = run_fixed_work(stm, threads, total_ops, seed, |_tid, _i, rng| {
         bank.transfer_tx(stm, rng);
     });
     bank.verify(stm).expect("bank invariant violated");

@@ -28,6 +28,11 @@ pub struct RunResult {
     pub total_ops: u64,
     /// STM statistics accumulated during the interval.
     pub stats: StatsSnapshot,
+    /// Transactions committed while building the workload's initial
+    /// state (pre-population, warm-up) *before* the measured interval.
+    /// The runtime-wide accounting identity is exact:
+    /// `stm.stats().commits == total_ops + setup_commits`.
+    pub setup_commits: u64,
 }
 
 impl RunResult {
@@ -85,6 +90,7 @@ pub fn run_for_duration(
         elapsed,
         total_ops: ops.load(Ordering::Relaxed),
         stats: stm.stats().since(&before),
+        setup_commits: 0,
     }
 }
 
@@ -145,6 +151,7 @@ pub fn run_for_duration_sampled(
         elapsed,
         total_ops: ops.load(Ordering::Relaxed),
         stats: stm.stats().since(&before),
+        setup_commits: 0,
     };
     (result, series)
 }
@@ -180,6 +187,7 @@ pub fn run_fixed_work(
         elapsed,
         total_ops,
         stats: stm.stats().since(&before),
+        setup_commits: 0,
     }
 }
 

@@ -11,7 +11,7 @@
 //! Layout: two parallel arrays, `states` (FREE / USED / REMOVED) and
 //! `keys`. Linear probing with a fixed stride.
 
-use crate::driver::{run_for_duration, RunResult};
+use crate::driver::{run_fixed_work, run_for_duration, RunResult};
 use semtm_core::util::SplitMix64;
 use semtm_core::{Abort, CmpOp, Stm, TArray, Tx};
 use std::time::Duration;
@@ -271,6 +271,24 @@ pub fn run(
 ) -> RunResult {
     let table = Hashtable::new(stm, config);
     let r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
+        table.workload_tx(stm, rng);
+    });
+    table.verify(stm).expect("hashtable integrity violated");
+    r
+}
+
+/// Fixed-work run: exactly `total_ops` workload transactions split
+/// across `threads`. Pre-population is non-transactional (`write_now`),
+/// so `stats.commits == total_ops` holds exactly.
+pub fn run_fixed(
+    stm: &Stm,
+    config: HashtableConfig,
+    threads: usize,
+    total_ops: u64,
+    seed: u64,
+) -> RunResult {
+    let table = Hashtable::new(stm, config);
+    let r = run_fixed_work(stm, threads, total_ops, seed, |_tid, _i, rng| {
         table.workload_tx(stm, rng);
     });
     table.verify(stm).expect("hashtable integrity violated");

@@ -11,7 +11,7 @@
 //! reads turn into compares; the remaining plain reads are the
 //! frequency scan used to pick a victim on a miss-set.
 
-use crate::driver::{run_for_duration, RunResult};
+use crate::driver::{run_fixed_work, run_for_duration, RunResult};
 use semtm_core::util::SplitMix64;
 use semtm_core::{Abort, CmpOp, Stm, TArray, Tx};
 use std::time::Duration;
@@ -170,18 +170,46 @@ pub fn run(
     duration: Duration,
     seed: u64,
 ) -> RunResult {
+    let cache = warmed_cache(stm, config, seed);
+    let mut r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
+        cache.workload_tx(stm, rng);
+    });
+    cache.verify(stm).expect("lru cache integrity violated");
+    r.setup_commits = (config.lines * config.ways) as u64;
+    r
+}
+
+/// Fixed-work run: exactly `total_ops` workload transactions split
+/// across `threads`. The warm-up phase commits one transaction per
+/// cache bucket, reported via [`RunResult::setup_commits`] so the
+/// runtime-wide identity `stats.commits == total_ops + setup_commits`
+/// stays exact.
+pub fn run_fixed(
+    stm: &Stm,
+    config: LruConfig,
+    threads: usize,
+    total_ops: u64,
+    seed: u64,
+) -> RunResult {
+    let cache = warmed_cache(stm, config, seed);
+    let mut r = run_fixed_work(stm, threads, total_ops, seed, |_tid, _i, rng| {
+        cache.workload_tx(stm, rng);
+    });
+    cache.verify(stm).expect("lru cache integrity violated");
+    r.setup_commits = (config.lines * config.ways) as u64;
+    r
+}
+
+/// Warm the cache so lookups hit (and produce `inc` traffic): one
+/// transactional `set` per bucket, i.e. `lines * ways` setup commits.
+fn warmed_cache(stm: &Stm, config: LruConfig, seed: u64) -> LruCache {
     let cache = LruCache::new(stm, config);
-    // Warm the cache so lookups hit (and produce `inc` traffic).
     let mut rng = SplitMix64::new(seed ^ 0xCAFE);
     for _ in 0..(config.lines * config.ways) {
         let key = 1 + rng.below(config.key_space) as i64;
         stm.atomic(|tx| cache.set(tx, key, key * 3));
     }
-    let r = run_for_duration(stm, threads, duration, seed, |_tid, rng| {
-        cache.workload_tx(stm, rng);
-    });
-    cache.verify(stm).expect("lru cache integrity violated");
-    r
+    cache
 }
 
 #[cfg(test)]

@@ -182,6 +182,7 @@ pub fn run(stm: &Stm, config: KmeansConfig, threads: usize, seed: u64) -> RunRes
         elapsed,
         total_ops: (iterations * config.points) as u64,
         stats: stm.stats().since(&before),
+        setup_commits: 0,
     }
 }
 

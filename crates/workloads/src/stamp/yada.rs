@@ -262,6 +262,7 @@ pub fn run(stm: &Stm, config: YadaConfig, threads: usize, seed: u64) -> RunResul
         elapsed,
         total_ops: refinements as u64,
         stats: stm.stats().since(&before),
+        setup_commits: 0,
     }
 }
 

@@ -10,6 +10,13 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> schedule-exploration smoke (semtm-check)"
+# Bounded deterministic exploration: exhaustive DFS over the scheduler's
+# fault-injection scenarios plus the cross-backend differential fuzzer.
+# SEMTM_CHECK_ITERS bounds the fuzz budget (default 1000 programs x 4
+# algorithms, a few seconds); raise it for soak runs outside this gate.
+SEMTM_CHECK_ITERS="${SEMTM_CHECK_ITERS:-1000}" cargo test -q -p semtm-check
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,5 +1,12 @@
 //! Cross-crate concurrency invariants: every workload's safety property
 //! stress-tested on every algorithm through the public facade.
+//!
+//! Runs are *fixed work* (an exact operation count split across
+//! threads), so every assertion is deterministic: no "did at least one
+//! op land in the time window" flakiness, and the commit accounting is
+//! checked as an exact identity instead of an inequality. Set
+//! `SEMTM_STRESS_SECS=<n>` to additionally soak each workload in
+//! wall-clock duration mode for `n` seconds (opt-in; never in tier-1).
 
 use semtm::core::util::SplitMix64;
 use semtm::workloads::queue::TQueue;
@@ -13,6 +20,37 @@ fn stm(alg: Algorithm) -> Stm {
     Stm::new(StmConfig::new(alg).heap_words(1 << 18).orec_count(1 << 10))
 }
 
+/// Opt-in wall-clock soak duration (`SEMTM_STRESS_SECS`), if any.
+fn stress_duration() -> Option<Duration> {
+    std::env::var("SEMTM_STRESS_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
+}
+
+/// The exact accounting identity every fixed run must satisfy: each
+/// workload operation is one top-level transaction, so the interval
+/// commits equal `total_ops` and the runtime-wide commits additionally
+/// include the setup transactions the workload reported.
+fn assert_exact_accounting(
+    alg: Algorithm,
+    s: &Stm,
+    r: &semtm::workloads::driver::RunResult,
+    expected_ops: u64,
+) {
+    assert_eq!(r.total_ops, expected_ops, "{alg}");
+    assert_eq!(
+        r.stats.commits, r.total_ops,
+        "{alg}: one commit per workload op"
+    );
+    assert_eq!(
+        s.stats().commits,
+        r.total_ops + r.setup_commits,
+        "{alg}: runtime commits must equal workload ops + setup commits"
+    );
+}
+
 #[test]
 fn bank_conserves_money_under_contention() {
     for alg in Algorithm::ALL {
@@ -21,12 +59,15 @@ fn bank_conserves_money_under_contention() {
             accounts: 8, // few accounts = heavy conflicts
             ..bank::BankConfig::default()
         };
-        let r = bank::run(&s, cfg, 4, Duration::from_millis(150), 1);
-        assert!(r.total_ops > 0, "{alg}");
-        // bank::run verifies conservation internally; also check the
-        // abort accounting is self-consistent.
-        let st = s.stats();
-        assert!(st.commits >= r.total_ops, "{alg}");
+        // bank::run_fixed verifies conservation internally.
+        let r = bank::run_fixed(&s, cfg, 4, 600, 1);
+        assert_exact_accounting(alg, &s, &r, 600);
+        assert_eq!(r.setup_commits, 0, "{alg}: bank seeds non-transactionally");
+        if let Some(d) = stress_duration() {
+            let soak = stm(alg);
+            let r = bank::run(&soak, cfg, 4, d, 1);
+            assert!(r.total_ops > 0, "{alg}: soak");
+        }
     }
 }
 
@@ -39,8 +80,13 @@ fn hashtable_supports_heavy_mixed_traffic() {
             get_pct: 50, // insert/remove heavy
             ..hashtable::HashtableConfig::default()
         };
-        let r = hashtable::run(&s, cfg, 4, Duration::from_millis(150), 2);
-        assert!(r.total_ops > 0, "{alg}");
+        let r = hashtable::run_fixed(&s, cfg, 4, 600, 2);
+        assert_exact_accounting(alg, &s, &r, 600);
+        if let Some(d) = stress_duration() {
+            let soak = stm(alg);
+            let r = hashtable::run(&soak, cfg, 4, d, 2);
+            assert!(r.total_ops > 0, "{alg}: soak");
+        }
     }
 }
 
@@ -55,8 +101,17 @@ fn lru_integrity_under_contention() {
             lookup_pct: 50,
             ..lru::LruConfig::default()
         };
-        let r = lru::run(&s, cfg, 4, Duration::from_millis(120), 3);
-        assert!(r.total_ops > 0, "{alg}");
+        let r = lru::run_fixed(&s, cfg, 4, 600, 3);
+        assert_exact_accounting(alg, &s, &r, 600);
+        assert_eq!(
+            r.setup_commits, 16,
+            "{alg}: warm-up commits one tx per bucket (4 lines x 4 ways)"
+        );
+        if let Some(d) = stress_duration() {
+            let soak = stm(alg);
+            let r = lru::run(&soak, cfg, 4, d, 3);
+            assert!(r.total_ops > 0, "{alg}: soak");
+        }
     }
 }
 
@@ -170,8 +225,8 @@ fn ring_filters_preserve_bank_conservation() {
         accounts: 8,
         ..bank::BankConfig::default()
     };
-    let r = bank::run(&s, cfg, 4, Duration::from_millis(150), 23);
-    assert!(r.total_ops > 0);
+    let r = bank::run_fixed(&s, cfg, 4, 600, 23);
+    assert_exact_accounting(Algorithm::SNOrec, &s, &r, 600);
 }
 
 #[test]
@@ -191,9 +246,9 @@ fn telemetry_invariants_hold_under_full_tracing() {
             accounts: 8, // few accounts = heavy conflicts
             ..bank::BankConfig::default()
         };
-        let r = bank::run(&s, cfg, 4, Duration::from_millis(120), 17);
+        let r = bank::run_fixed(&s, cfg, 4, 600, 17);
         let st = s.stats();
-        assert!(st.commits >= r.total_ops, "{alg}");
+        assert_exact_accounting(alg, &s, &r, 600);
         assert_eq!(
             st.attempts(),
             st.commits + st.total_aborts(),

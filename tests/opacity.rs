@@ -268,6 +268,246 @@ fn invariant_pair_semantic_view_consistent() {
     }
 }
 
+// ---------------------------------------------------------------------
+// The same paper histories replayed under the deterministic scheduler:
+// instead of hand-weaving one interleaving with a nested commit, every
+// bounded-preemption schedule of two real (virtual) threads is explored
+// and each execution's recorded history goes through the opacity
+// checker. See `crates/check` and DESIGN.md §"Testing strategy".
+// ---------------------------------------------------------------------
+
+mod scheduled {
+    use semtm::{Algorithm, CmpOp};
+    use semtm_check::checker::check_history;
+    use semtm_check::fuzz::check_stm;
+    use semtm_check::history::{atomic_recorded, OpRec, Recorder};
+    use semtm_check::schedule::{explore_exhaustive, ExploreOptions};
+    use semtm_check::vthread::run_threads;
+
+    const STEP_CAP: usize = 20_000;
+
+    fn opts(max_preemptions: u32) -> ExploreOptions {
+        ExploreOptions {
+            max_preemptions,
+            max_executions: 0,
+            step_cap: STEP_CAP,
+        }
+    }
+
+    /// Paper Algorithm 1 under the scheduler: T0 checks `x > 0 || y > 0`
+    /// and writes `out`, T1 commits `x++; y--`. Semantic algorithms must
+    /// exhibit a schedule where T1 commits *inside* T0's window and T0
+    /// still commits first-try; baselines must exhibit aborted attempts.
+    /// Every execution's history must pass the opacity checker.
+    #[test]
+    fn algorithm1_false_conflict_all_schedules() {
+        for alg in Algorithm::ALL {
+            let mut committed_across_first_try = false;
+            let mut saw_abort = false;
+            let explored = explore_exhaustive(opts(3), |driver| {
+                let stm = check_stm(alg);
+                let x = stm.alloc_cell(5);
+                let y = stm.alloc_cell(5);
+                let out = stm.alloc_cell(0);
+                let rec = Recorder::new();
+                let shared = (&stm, &rec);
+                type Shared<'a> = (&'a semtm::Stm, &'a Recorder);
+                let t0 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        let cond = tx.cmp(x, CmpOp::Gt, 0)? || tx.cmp(y, CmpOp::Gt, 0)?;
+                        assert!(cond, "x stays > 0 in every schedule");
+                        tx.write(out, 1)
+                    });
+                };
+                let t1 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        tx.inc(x, 1)?;
+                        tx.inc(y, -1)
+                    });
+                };
+                let run = run_threads(&shared, &[&t0, &t1], driver, STEP_CAP);
+                if run.capped {
+                    return Err("step cap exceeded".into());
+                }
+                let attempts = rec.attempts();
+                check_history(
+                    &attempts,
+                    &[(x, 5), (y, 5), (out, 0)],
+                    &[
+                        (x, stm.read_now(x)),
+                        (y, stm.read_now(y)),
+                        (out, stm.read_now(out)),
+                    ],
+                )
+                .map_err(|e| format!("{alg}: {e}"))?;
+                let t0_attempts: Vec<_> = attempts.iter().filter(|a| a.thread == 0).collect();
+                saw_abort |= t0_attempts.iter().any(|a| !a.committed);
+                committed_across_first_try |= t0_attempts.len() == 1
+                    && t0_attempts[0].committed
+                    && attempts.iter().any(|a| {
+                        a.thread == 1
+                            && a.committed
+                            && t0_attempts[0].begin_seq < a.end_seq
+                            && a.end_seq < t0_attempts[0].end_seq
+                    });
+                Ok(())
+            });
+            assert!(
+                explored > 10,
+                "{alg}: expected real branching, got {explored}"
+            );
+            if alg.is_semantic() {
+                assert!(
+                    committed_across_first_try,
+                    "{alg}: some schedule must commit T0 first-try across T1's commit"
+                );
+            } else {
+                assert!(
+                    saw_abort,
+                    "{alg}: value validation must abort T0 in some schedule"
+                );
+            }
+        }
+    }
+
+    /// Paper Algorithm 8 under the scheduler: T0 runs
+    /// `if x >= 0 { z = y }`, T1 commits `x = 1; y = 1`. S-NOrec must
+    /// exhibit the T1 -> T0 serialisation live (T0 commits first-try
+    /// with z = 1 while T1's commit lands inside T0's window); every
+    /// execution on every semantic algorithm must be opaque.
+    #[test]
+    fn algorithm8_opaque_all_schedules() {
+        for alg in [Algorithm::SNOrec, Algorithm::STl2] {
+            let mut serialised_after_interferer = false;
+            explore_exhaustive(opts(3), |driver| {
+                let stm = check_stm(alg);
+                let x = stm.alloc_cell(0);
+                let y = stm.alloc_cell(0);
+                let z = stm.alloc_cell(-1);
+                let rec = Recorder::new();
+                let shared = (&stm, &rec);
+                type Shared<'a> = (&'a semtm::Stm, &'a Recorder);
+                let t0 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        assert!(tx.cmp(x, CmpOp::Gte, 0)?, "x only ever grows");
+                        let vy = tx.read(y)?;
+                        tx.write(z, vy)
+                    });
+                };
+                let t1 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        tx.write(x, 1)?;
+                        tx.write(y, 1)
+                    });
+                };
+                let run = run_threads(&shared, &[&t0, &t1], driver, STEP_CAP);
+                if run.capped {
+                    return Err("step cap exceeded".into());
+                }
+                let attempts = rec.attempts();
+                check_history(
+                    &attempts,
+                    &[(x, 0), (y, 0), (z, -1)],
+                    &[
+                        (x, stm.read_now(x)),
+                        (y, stm.read_now(y)),
+                        (z, stm.read_now(z)),
+                    ],
+                )
+                .map_err(|e| format!("{alg}: {e}"))?;
+                let t0_attempts: Vec<_> = attempts.iter().filter(|a| a.thread == 0).collect();
+                serialised_after_interferer |= t0_attempts.len() == 1
+                    && t0_attempts[0].committed
+                    && t0_attempts[0]
+                        .ops
+                        .iter()
+                        .any(|op| matches!(op, OpRec::Read { addr, val: 1, .. } if *addr == y))
+                    && attempts.iter().any(|a| {
+                        a.thread == 1
+                            && a.committed
+                            && t0_attempts[0].begin_seq < a.end_seq
+                            && a.end_seq < t0_attempts[0].end_seq
+                    });
+                Ok(())
+            });
+            if alg == Algorithm::SNOrec {
+                // Plain reads extend the S-NOrec snapshot, so the
+                // T1 -> T0 serialisation happens with no abort at all.
+                // S-TL2 is more conservative (only phase-1 compares can
+                // extend) and may abort first, which is equally opaque.
+                assert!(
+                    serialised_after_interferer,
+                    "S-NOrec: some schedule must serialise T0 after T1 first-try"
+                );
+            }
+        }
+    }
+
+    /// Paper Algorithm 9 under the scheduler: T0 reads y and *then*
+    /// compares `x >= 1`; T1 commits `x = 1; y = 1`. Pairing old-y with
+    /// new-x is not opaque, so no committed T0 attempt may ever observe
+    /// `y == 0` together with `x >= 1` being true — on any algorithm,
+    /// in any schedule.
+    #[test]
+    fn algorithm9_never_pairs_old_y_with_new_x() {
+        for alg in Algorithm::ALL {
+            explore_exhaustive(opts(3), |driver| {
+                let stm = check_stm(alg);
+                let x = stm.alloc_cell(0);
+                let y = stm.alloc_cell(0);
+                let z = stm.alloc_cell(-1);
+                let rec = Recorder::new();
+                let shared = (&stm, &rec);
+                type Shared<'a> = (&'a semtm::Stm, &'a Recorder);
+                let t0 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        let vy = tx.read(y)?;
+                        tx.write(z, vy)?;
+                        if tx.cmp(x, CmpOp::Gte, 1)? {
+                            tx.write(z, 1)?;
+                        }
+                        Ok(())
+                    });
+                };
+                let t1 = move |tid: usize, (stm, rec): &Shared<'_>| {
+                    atomic_recorded(stm, rec, tid, |tx| {
+                        tx.write(x, 1)?;
+                        tx.write(y, 1)
+                    });
+                };
+                let run = run_threads(&shared, &[&t0, &t1], driver, STEP_CAP);
+                if run.capped {
+                    return Err("step cap exceeded".into());
+                }
+                let attempts = rec.attempts();
+                for at in attempts.iter().filter(|a| a.thread == 0 && a.committed) {
+                    let old_y = at
+                        .ops
+                        .iter()
+                        .any(|op| matches!(op, OpRec::Read { addr, val: 0, .. } if *addr == y));
+                    let new_x = at
+                        .ops
+                        .iter()
+                        .any(|op| matches!(op, OpRec::Cmp { a, out: true, .. } if *a == x));
+                    if old_y && new_x {
+                        return Err(format!("{alg}: committed attempt paired old y with new x"));
+                    }
+                }
+                check_history(
+                    &attempts,
+                    &[(x, 0), (y, 0), (z, -1)],
+                    &[
+                        (x, stm.read_now(x)),
+                        (y, stm.read_now(y)),
+                        (z, stm.read_now(z)),
+                    ],
+                )
+                .map_err(|e| format!("{alg}: {e}"))
+            });
+        }
+    }
+}
+
 /// Explicit aborts surface with their reason and leave no effects.
 #[test]
 fn explicit_abort_reason_preserved() {
