@@ -11,7 +11,8 @@
 
 use semtm_bench::experiments as exp;
 use semtm_bench::report::{markdown_table, speedup_summary, write_csv, write_results_file};
-use semtm_bench::{fig2, table3, Scale, Sweep};
+use semtm_bench::{dashboard, fig2, table3, trace, Scale, Sweep};
+use semtm_core::Algorithm;
 use semtm_workloads::stamp::labyrinth::Variant;
 use std::time::Duration;
 
@@ -33,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-ring",
     "contention",
     "telemetry",
+    "trace",
 ];
 
 fn main() {
@@ -44,7 +46,10 @@ fn main() {
         .map(String::as_str)
         .collect();
     if selected.is_empty() {
-        eprintln!("usage: figures [--smoke] all | {}", EXPERIMENTS.join(" | "));
+        eprintln!(
+            "usage: figures [--smoke] all | dash | {}",
+            EXPERIMENTS.join(" | ")
+        );
         std::process::exit(2);
     }
     let run_all = selected.contains(&"all");
@@ -227,6 +232,62 @@ fn main() {
             Ok(p) => println!("wrote {}", p.display()),
             Err(e) => eprintln!("csv write failed: {e}"),
         }
+    }
+    if pick("trace") {
+        let (threads, dur) = if smoke {
+            (2, Duration::from_millis(120))
+        } else {
+            (4, Duration::from_millis(400))
+        };
+        let (json, hot) = trace::record_bank_trace(Algorithm::SNOrec, threads, dur, sweep.seed);
+        match trace::validate_chrome_trace(&json, threads) {
+            Ok(summary) => {
+                println!(
+                    "\n### Flight recorder — skewed Bank, S-NOrec, {threads} threads\n\n\
+                     {} thread tracks, {} commit spans, {} abort spans \
+                     ({} attributed to a heap address)",
+                    summary.threads,
+                    summary.commit_spans,
+                    summary.abort_spans,
+                    summary.attributed_aborts
+                );
+                println!("hottest addresses (count-min estimate):");
+                for (addr, n) in hot.iter().take(5) {
+                    println!("  addr {addr:>8}  ~{n} conflicts");
+                }
+            }
+            Err(e) => {
+                eprintln!("trace schema validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        match write_results_file("trace_bank.json", &json) {
+            Ok(p) => println!(
+                "wrote {} (load in Perfetto / chrome://tracing)",
+                p.display()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
+    // Interactive: repaints the terminal, so only on explicit request
+    // (never part of "all").
+    if selected.contains(&"dash") {
+        let (threads, dur) = if smoke {
+            (2, Duration::from_millis(600))
+        } else {
+            (4, Duration::from_secs(5))
+        };
+        let last = dashboard::run_bank_dashboard(
+            Algorithm::SNOrec,
+            threads,
+            dur,
+            Duration::from_millis(100),
+            sweep.seed,
+        );
+        println!(
+            "final: {:.0} tx/s, {:.1}% aborts, {} spans retained",
+            last.throughput_tps, last.abort_pct, last.spans
+        );
     }
     if pick("ablation-snorec") {
         emit(

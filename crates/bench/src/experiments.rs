@@ -2,7 +2,7 @@
 //! of §7.1 — micro-benchmarks and STAMP applications under NOrec,
 //! S-NOrec, TL2 and S-TL2.
 
-use crate::report::{AlgorithmTelemetry, FigureRow, TelemetryReport};
+use crate::report::{AlgorithmTelemetry, FigureRow, OverheadRow, TelemetryReport};
 use semtm_core::{Algorithm, CmPolicy, Stm, StmConfig, TelemetryLevel};
 use semtm_workloads::driver::RunResult;
 use semtm_workloads::stamp::{kmeans, labyrinth, vacation, yada};
@@ -442,11 +442,13 @@ pub fn ablation_cm_policy(sweep: &Sweep) -> Vec<FigureRow> {
 }
 
 /// Telemetry deep-dive on the Bank workload: one fully-instrumented run
-/// per algorithm at the sweep's highest thread count, with
-/// [`TelemetryLevel::Trace`] enabled. Produces the JSON report of
-/// EXPERIMENTS.md §Telemetry — commit-latency quantiles,
-/// attempts-per-commit histogram, abort-reason breakdown, abort-event
-/// trace, and a throughput/abort-rate time series.
+/// per algorithm at the sweep's highest thread count, with the
+/// [`TelemetryLevel::Spans`] flight recorder enabled. Produces the JSON
+/// report of EXPERIMENTS.md §Telemetry — commit-latency quantiles,
+/// attempts-per-commit histogram, abort-reason breakdown, attributed
+/// abort-event trace, hot-address ranking, who-aborted-whom edges, a
+/// throughput/abort-rate time series, and a Counters-vs-Spans overhead
+/// ablation demonstrating that the default level stays zero-cost.
 pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
     let cfg = bank::BankConfig {
         accounts: sweep.pick(32, 64),
@@ -461,7 +463,7 @@ pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
             StmConfig::new(alg)
                 .heap_words(1 << 12)
                 .orec_count(1 << 14)
-                .telemetry(TelemetryLevel::Trace)
+                .telemetry(TelemetryLevel::Spans)
                 .trace_capacity(sweep.pick(64, 256)),
         );
         let (r, series) =
@@ -479,6 +481,30 @@ pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
             trace: t.trace_events(),
             trace_evicted: t.trace_evicted(),
             series,
+            hot_addresses: t
+                .hot_addresses()
+                .into_iter()
+                .map(|(a, n)| (a.index() as u64, n))
+                .collect(),
+            conflict_edges: t.conflict_edges(),
+        });
+    }
+    // Overhead ablation: the same S-NOrec run at Counters vs Spans. The
+    // Counters hot path is required to be untouched by the flight
+    // recorder; this pair of rows is the evidence.
+    let mut overhead = Vec::new();
+    for level in [TelemetryLevel::Counters, TelemetryLevel::Spans] {
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(1 << 12)
+                .telemetry(level)
+                .trace_capacity(sweep.pick(64, 256)),
+        );
+        let r = bank::run(&stm, cfg, threads, sweep.duration, sweep.seed);
+        overhead.push(OverheadRow {
+            level: level.name().to_string(),
+            throughput_ktps: r.throughput_ktps(),
+            commits: r.stats.commits,
         });
     }
     TelemetryReport {
@@ -486,6 +512,7 @@ pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
         threads,
         duration_secs: sweep.duration.as_secs_f64(),
         algorithms,
+        overhead,
     }
 }
 
@@ -577,8 +604,15 @@ mod tests {
                 a.algorithm
             );
         }
+        // The overhead ablation always has the Counters/Spans pair.
+        assert_eq!(report.overhead.len(), 2);
+        assert_eq!(report.overhead[0].level, "counters");
+        assert_eq!(report.overhead[1].level, "spans");
+        assert!(report.overhead.iter().all(|o| o.commits > 0));
         let json = report.to_json().render();
         assert!(json.contains("\"commit_latency_ns\""));
         assert!(json.contains("\"abort_breakdown\""));
+        assert!(json.contains("\"telemetry_overhead\""));
+        assert!(json.contains("\"hot_addresses\""));
     }
 }

@@ -1,0 +1,286 @@
+//! A minimal JSON *reader* to validate what the harness writes.
+//!
+//! The workspace builds offline with no registry dependencies, so there
+//! is no serde to round-trip through. This recursive-descent parser
+//! accepts standard JSON (objects, arrays, strings with escapes,
+//! numbers, booleans, null) — enough to schema-check the Chrome
+//! trace-event files and telemetry reports in CI. It is a validator,
+//! not a performance parser: inputs are trusted-size artifacts we
+//! produced ourselves.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; fine for validation).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JValue>),
+    /// An object. Keys are owned; duplicate keys keep the last value.
+    Obj(BTreeMap<String, JValue>),
+}
+
+impl JValue {
+    /// Object field access; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&JValue> {
+        match self {
+            JValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items; `None` for non-arrays.
+    pub fn as_arr(&self) -> Option<&[JValue]> {
+        match self {
+            JValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload; `None` for non-numbers.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Trailing garbage is an error.
+pub fn parse(input: &str) -> Result<JValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: JValue) -> Result<JValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JValue, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JValue::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs don't occur in our own output;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(JValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JValue::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' (found {other:?})")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JValue, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(JValue::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JValue::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5, 1e3], "b": {"c": true, "d": null}, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_num(),
+            Some(-2.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JValue::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JValue::Null));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = parse(r#""quote \" backslash \\ tab \t unicode A""#).unwrap();
+        assert_eq!(v.as_str(), Some("quote \" backslash \\ tab \t unicode A"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("12 34").is_err(), "trailing data");
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn roundtrips_the_report_writer() {
+        use crate::report::Json;
+        let written = Json::Object(vec![
+            ("name", Json::Str("a \"b\"\n".to_string())),
+            ("n", Json::UInt(7)),
+            ("arr", Json::Array(vec![Json::Float(0.25), Json::Null])),
+        ])
+        .render();
+        let v = parse(&written).expect("our own writer must emit valid JSON");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a \"b\"\n"));
+        assert_eq!(v.get("n").unwrap().as_num(), Some(7.0));
+        assert_eq!(v.get("arr").unwrap().as_arr().unwrap()[1], JValue::Null);
+    }
+}

@@ -13,10 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dashboard;
 pub mod experiments;
 pub mod fig2;
+pub mod jsonin;
 pub mod report;
 pub mod table3;
+pub mod trace;
 
 pub use experiments::{Scale, Sweep};
-pub use report::{AlgorithmTelemetry, FigureRow, Json, TelemetryReport};
+pub use report::{AlgorithmTelemetry, FigureRow, Json, OverheadRow, TelemetryReport};
+pub use trace::{record_bank_trace, validate_chrome_trace, TraceSummary};

@@ -5,7 +5,7 @@
 //! tree with an escaping pretty-printer — enough for the telemetry
 //! report schema documented in EXPERIMENTS.md.
 
-use semtm_core::{AbortEvent, HistogramSnapshot, SamplePoint, StatsSnapshot};
+use semtm_core::{AbortEvent, ConflictEdge, HistogramSnapshot, SamplePoint, StatsSnapshot};
 
 /// A JSON value for the hand-rolled writer.
 #[derive(Clone, Debug)]
@@ -115,6 +115,7 @@ pub fn histogram_json(h: &HistogramSnapshot) -> Json {
     Json::Object(vec![
         ("count", Json::UInt(h.count())),
         ("sum", Json::UInt(h.sum())),
+        ("min", Json::UInt(h.min())),
         ("max", Json::UInt(h.max())),
         ("mean", Json::Float(h.mean())),
         ("p50", Json::UInt(h.p50())),
@@ -158,12 +159,33 @@ fn sample_point_json(p: &SamplePoint) -> Json {
 }
 
 fn abort_event_json(e: &AbortEvent) -> Json {
+    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::UInt);
     Json::Object(vec![
         ("timestamp_ns", Json::UInt(e.timestamp_ns)),
         ("reason", Json::Str(e.reason.name().to_string())),
         ("attempt", Json::UInt(e.attempt as u64)),
         ("read_set", Json::UInt(e.read_set as u64)),
         ("compare_set", Json::UInt(e.compare_set as u64)),
+        // Conflict attribution; null where the abort site could not name
+        // the guilty address / orec / committer.
+        ("addr", opt(e.conflict.addr().map(|a| a.index() as u64))),
+        ("orec", opt(e.conflict.orec().map(u64::from))),
+        ("by", opt(e.conflict.by())),
+    ])
+}
+
+fn hot_address_json(addr: u64, conflicts: u64) -> Json {
+    Json::Object(vec![
+        ("addr", Json::UInt(addr)),
+        ("conflicts", Json::UInt(conflicts)),
+    ])
+}
+
+fn conflict_edge_json(e: &ConflictEdge) -> Json {
+    Json::Object(vec![
+        ("victim", Json::UInt(e.victim)),
+        ("by", Json::UInt(e.by)),
+        ("count", Json::UInt(e.count)),
     ])
 }
 
@@ -192,6 +214,23 @@ pub struct AlgorithmTelemetry {
     pub trace_evicted: u64,
     /// Throughput/abort-rate time series over the interval.
     pub series: Vec<SamplePoint>,
+    /// Hottest conflict addresses `(heap index, estimated conflicts)`,
+    /// ranked descending (flight-recorder sketch; empty below `Spans`).
+    pub hot_addresses: Vec<(u64, u64)>,
+    /// Who-aborted-whom conflict summary (empty below `Spans`).
+    pub conflict_edges: Vec<ConflictEdge>,
+}
+
+/// One row of the flight-recorder overhead ablation: the same workload
+/// run at a given telemetry level.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Telemetry level name (`counters`, `spans`, ...).
+    pub level: String,
+    /// Throughput at that level, kTx/s.
+    pub throughput_ktps: f64,
+    /// Commits in the measured interval.
+    pub commits: u64,
 }
 
 /// A full telemetry report for one workload across algorithms.
@@ -205,6 +244,9 @@ pub struct TelemetryReport {
     pub duration_secs: f64,
     /// One entry per algorithm.
     pub algorithms: Vec<AlgorithmTelemetry>,
+    /// Flight-recorder overhead ablation: the same workload/algorithm at
+    /// `Counters` vs `Spans` (empty when the ablation was not run).
+    pub overhead: Vec<OverheadRow>,
 }
 
 impl TelemetryReport {
@@ -238,9 +280,33 @@ impl TelemetryReport {
                         Json::Array(a.trace.iter().map(abort_event_json).collect()),
                     ),
                     (
+                        "hot_addresses",
+                        Json::Array(
+                            a.hot_addresses
+                                .iter()
+                                .map(|&(addr, n)| hot_address_json(addr, n))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "conflict_edges",
+                        Json::Array(a.conflict_edges.iter().map(conflict_edge_json).collect()),
+                    ),
+                    (
                         "series",
                         Json::Array(a.series.iter().map(sample_point_json).collect()),
                     ),
+                ])
+            })
+            .collect();
+        let overhead = self
+            .overhead
+            .iter()
+            .map(|o| {
+                Json::Object(vec![
+                    ("level", Json::Str(o.level.clone())),
+                    ("throughput_ktps", Json::Float(o.throughput_ktps)),
+                    ("commits", Json::UInt(o.commits)),
                 ])
             })
             .collect();
@@ -249,6 +315,7 @@ impl TelemetryReport {
             ("threads", Json::UInt(self.threads as u64)),
             ("duration_secs", Json::Float(self.duration_secs)),
             ("algorithms", Json::Array(algorithms)),
+            ("telemetry_overhead", Json::Array(overhead)),
         ])
     }
 
@@ -503,6 +570,17 @@ mod tests {
                 trace: t.trace_events(),
                 trace_evicted: t.trace_evicted(),
                 series: vec![],
+                hot_addresses: vec![(17, 5)],
+                conflict_edges: vec![ConflictEdge {
+                    victim: 2,
+                    by: 3,
+                    count: 4,
+                }],
+            }],
+            overhead: vec![OverheadRow {
+                level: "spans".to_string(),
+                throughput_ktps: 310.0,
+                commits: 32,
             }],
         };
         let s = report.to_json().render();
@@ -512,11 +590,16 @@ mod tests {
             "\"attempts_per_commit\"",
             "\"abort_breakdown\"",
             "\"wasted_work_ratio\"",
+            "\"min\"",
             "\"p50\"",
             "\"p90\"",
             "\"p99\"",
             "\"series\"",
             "\"trace\"",
+            "\"hot_addresses\"",
+            "\"conflict_edges\"",
+            "\"telemetry_overhead\"",
+            "\"level\": \"spans\"",
         ] {
             assert!(s.contains(key), "missing {key} in:\n{s}");
         }

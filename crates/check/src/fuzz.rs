@@ -8,9 +8,10 @@ use crate::program::{POp, Program};
 use crate::schedule::RandomDriver;
 use crate::shrink::shrink;
 use crate::vthread::run_threads;
+use semtm_core::chrome::chrome_trace_json;
 use semtm_core::error::Abort;
 use semtm_core::util::SplitMix64;
-use semtm_core::{Addr, Algorithm, Stm, StmConfig};
+use semtm_core::{Addr, Algorithm, Stm, StmConfig, TelemetryLevel};
 
 /// Probability (%) that the random driver preempts a runnable thread.
 const SWITCH_PCT: u32 = 40;
@@ -29,6 +30,23 @@ pub fn iterations(dflt: usize) -> usize {
 /// tiny heap, short lock patience, minimal backoff.
 pub fn check_stm(alg: Algorithm) -> Stm {
     let mut cfg = StmConfig::new(alg).heap_words(64).orec_count(16);
+    cfg.lock_wait_spins = 8;
+    cfg.backoff_min_spins = 1;
+    cfg.backoff_max_spins = 2;
+    Stm::new(cfg)
+}
+
+/// [`check_stm`] with the flight recorder on, for replaying a failing
+/// schedule into a dumpable timeline. The rings are kept tiny — the
+/// micro programs record a handful of spans, and exploration harnesses
+/// construct one `Stm` per schedule, so the eager per-shard ring
+/// allocation must stay cheap.
+pub fn check_stm_traced(alg: Algorithm) -> Stm {
+    let mut cfg = StmConfig::new(alg)
+        .heap_words(64)
+        .orec_count(16)
+        .telemetry(TelemetryLevel::Spans)
+        .trace_capacity(64);
     cfg.lock_wait_spins = 8;
     cfg.backoff_min_spins = 1;
     cfg.backoff_max_spins = 2;
@@ -62,14 +80,32 @@ fn exec_op(rtx: &mut RecTx<'_, '_>, op: POp, base: Addr) -> Result<(), Abort> {
 /// serial oracle or any checker violation, with enough context to
 /// replay.
 pub fn run_program(program: &Program, alg: Algorithm, sched_seed: u64) -> Result<(), String> {
-    let stm = check_stm(alg);
+    run_program_on(&check_stm(alg), program, alg, sched_seed)
+}
+
+/// Replay `program` on a flight-recorder-enabled runtime under the same
+/// schedule and return the recorded timeline as Chrome trace-event JSON
+/// (pass/fail of the replay itself is irrelevant — the spans are the
+/// product).
+pub fn trace_program(program: &Program, alg: Algorithm, sched_seed: u64) -> String {
+    let stm = check_stm_traced(alg);
+    let _ = run_program_on(&stm, program, alg, sched_seed);
+    chrome_trace_json(alg, &stm.telemetry().span_events())
+}
+
+fn run_program_on(
+    stm: &Stm,
+    program: &Program,
+    alg: Algorithm,
+    sched_seed: u64,
+) -> Result<(), String> {
     let base = stm.alloc(program.slots);
     for (i, v) in program.init.iter().enumerate() {
         stm.write_now(base.offset(i), *v);
     }
     let rec = Recorder::new();
 
-    let shared = (&stm, &rec, program, base);
+    let shared = (stm, &rec, program, base);
     type Shared<'a> = (&'a Stm, &'a Recorder, &'a Program, Addr);
     let body = |tid: usize, shared: &Shared<'_>| {
         let (stm, rec, program, base) = *shared;
@@ -136,12 +172,31 @@ pub fn run_differential(programs: usize, base_seed: u64) {
         for alg in Algorithm::ALL {
             if let Err(msg) = run_program(&program, alg, sched_seed) {
                 let minimized = shrink(&program, |p| run_program(p, alg, sched_seed).is_err());
+                let note = crate::tracedump::dump_note(
+                    &format!("fuzz_{alg}"),
+                    &trace_program(&minimized, alg, sched_seed),
+                );
                 panic!(
                     "differential fuzz failure at program {i}/{programs} on {alg} \
                      (program seed {prog_seed:#x}, schedule seed {sched_seed:#x}, \
-                     base seed {base_seed:#x}): {msg}\nminimized program: {minimized:#?}"
+                     base seed {base_seed:#x}): {msg}\n{note}\n\
+                     minimized program: {minimized:#?}"
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_program_replays_into_chrome_json() {
+        let mut rng = SplitMix64::new(7);
+        let program = Program::generate(&mut rng);
+        let json = trace_program(&program, Algorithm::SNOrec, 42);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""), "replay must record spans");
     }
 }

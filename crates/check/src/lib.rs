@@ -60,4 +60,5 @@ pub mod program;
 pub mod scenario;
 pub mod schedule;
 pub mod shrink;
+pub mod tracedump;
 pub mod vthread;

@@ -8,10 +8,12 @@
 //! non-serializable history and the checker reports it.
 
 use crate::checker::check_history;
-use crate::fuzz::check_stm;
+use crate::fuzz::check_stm_traced;
 use crate::history::{atomic_recorded, Recorder};
 use crate::schedule::Driver;
+use crate::tracedump::dump_note;
 use crate::vthread::run_threads;
+use semtm_core::chrome::chrome_trace_json;
 use semtm_core::ops::CmpOp;
 use semtm_core::{Algorithm, Stm};
 
@@ -29,7 +31,7 @@ type Shared<'a> = (&'a Stm, &'a Recorder);
 /// `x > 0 == true` and `y == 1` — no serial order explains that
 /// (`[T0,T1]` gives `y = 0`; `[T1,T0]` gives `x > 0` false).
 pub fn snorec_revalidation(driver: &mut dyn Driver) -> Result<(), String> {
-    let stm = check_stm(Algorithm::SNOrec);
+    let stm = check_stm_traced(Algorithm::SNOrec);
     let x = stm.alloc_cell(5i64);
     let y = stm.alloc_cell(0i64);
     let out = stm.alloc_cell(0i64);
@@ -62,6 +64,12 @@ pub fn snorec_revalidation(driver: &mut dyn Driver) -> Result<(), String> {
             (out, stm.read_now(out)),
         ],
     )
+    .map_err(|e| {
+        // The violating schedule's own flight-recorder timeline, for
+        // post-mortem in Perfetto.
+        let json = chrome_trace_json(Algorithm::SNOrec, &stm.telemetry().span_events());
+        format!("{e}\n{}", dump_note("scenario_snorec_revalidation", &json))
+    })
 }
 
 /// TL2 commit-time read-validation scenario (the bug: skipping
@@ -74,7 +82,7 @@ pub fn snorec_revalidation(driver: &mut dyn Driver) -> Result<(), String> {
 /// memory `x = -5, y = 2`, neither serial order fits (`[T0,T1]` ends
 /// with `y = 1`; `[T1,T0]` means T0 read `x = -5`).
 pub fn tl2_read_validation(driver: &mut dyn Driver) -> Result<(), String> {
-    let stm = check_stm(Algorithm::Tl2);
+    let stm = check_stm_traced(Algorithm::Tl2);
     let x = stm.alloc_cell(5i64);
     let y = stm.alloc_cell(0i64);
     let rec = Recorder::new();
@@ -100,4 +108,8 @@ pub fn tl2_read_validation(driver: &mut dyn Driver) -> Result<(), String> {
         &[(x, 5), (y, 0)],
         &[(x, stm.read_now(x)), (y, stm.read_now(y))],
     )
+    .map_err(|e| {
+        let json = chrome_trace_json(Algorithm::Tl2, &stm.telemetry().span_events());
+        format!("{e}\n{}", dump_note("scenario_tl2_read_validation", &json))
+    })
 }

@@ -1,0 +1,47 @@
+//! Flight-recorder dumps for failing schedules.
+//!
+//! When the differential fuzzer or a fault-injection scenario catches a
+//! violation, the minimized interleaving is replayed once more on an
+//! [`TelemetryLevel::Spans`](semtm_core::TelemetryLevel::Spans)-enabled
+//! runtime and the recorded spans are written out as Chrome trace-event
+//! JSON under `results/check/` at the workspace root. The panic/error
+//! message names the file, so a red CI run ships a timeline of the
+//! offending schedule (every attempt, its phases, and which
+//! address/transaction each abort was attributed to) as part of the
+//! uploaded `results/` artifact.
+
+use std::path::PathBuf;
+
+/// Best-effort write of a Chrome trace-event document to
+/// `results/check/<name>.json` (workspace root, independent of the test
+/// runner's working directory). Returns the path on success; IO failures
+/// yield `None` rather than masking the original test failure.
+pub fn dump_trace(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/check");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
+/// Render `dump_trace`'s outcome for inclusion in a failure message.
+pub fn dump_note(name: &str, json: &str) -> String {
+    match dump_trace(name, json) {
+        Some(path) => format!("flight-recorder trace: {}", path.display()),
+        None => "flight-recorder trace could not be written".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_writes_under_results_check() {
+        let path = dump_trace("selftest", "{\"traceEvents\":[]}").expect("writable");
+        assert!(path.ends_with("selftest.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"traceEvents\":[]}");
+        std::fs::remove_file(&path).ok();
+    }
+}

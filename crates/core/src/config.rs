@@ -98,10 +98,20 @@ pub struct StmConfig {
     /// How much the runtime records about itself. The default,
     /// [`TelemetryLevel::Counters`], costs nothing beyond the counter
     /// increments the runtime always did; higher levels add latency
-    /// histograms and the abort-event trace.
+    /// histograms, the abort-event trace, and (at
+    /// [`TelemetryLevel::Spans`]) the per-attempt flight recorder.
     pub telemetry: TelemetryLevel,
-    /// Per-thread abort-trace ring capacity (newest events retained).
-    /// Only allocated at [`TelemetryLevel::Trace`].
+    /// Per-shard event-ring capacity (newest events retained). Governs
+    /// the abort-event rings (allocated at [`TelemetryLevel::Trace`] and
+    /// above) *and* the flight-recorder span rings (allocated at
+    /// [`TelemetryLevel::Spans`]).
+    ///
+    /// Memory cost: there are 64 ring shards (one per telemetry counter
+    /// shard). Each abort event is ~48 bytes and each span ~112 bytes,
+    /// so at `Trace` a capacity of `c` costs about `64 × 48 × c` bytes
+    /// (≈ 3 MiB at the default 1024) and at `Spans` about
+    /// `64 × 160 × c` bytes (≈ 10 MiB at the default). Below `Trace`
+    /// the rings collapse to capacity 1 and cost a few kilobytes total.
     pub trace_capacity: usize,
 }
 
@@ -173,7 +183,9 @@ impl StmConfig {
         self
     }
 
-    /// Builder-style abort-trace capacity override (per thread).
+    /// Builder-style event-ring capacity override (per shard; applies
+    /// to both the abort trace and the span rings — see the field docs
+    /// for the memory cost).
     pub fn trace_capacity(mut self, events: usize) -> StmConfig {
         self.trace_capacity = events;
         self

@@ -1,0 +1,277 @@
+//! Lock-free contention-attribution sketches behind
+//! [`Telemetry::hot_addresses`](crate::Telemetry::hot_addresses) and
+//! [`Telemetry::conflict_edges`](crate::Telemetry::conflict_edges).
+//!
+//! Both structures are per-shard (one instance per telemetry counter
+//! shard, so the writing thread rarely shares cache lines) and built
+//! from relaxed atomics only. Races are benign: a lost update costs one
+//! count of precision, never a torn value, and the estimates are only
+//! read at snapshot time when the report is assembled.
+//!
+//! * [`HotSketch`] — a fixed-size count-min sketch over conflicting
+//!   heap addresses plus a small top-K slot table that tracks the
+//!   current heavy hitters (the "heap" of a classic count-min + heap
+//!   ranking, flattened to a scan-friendly fixed array).
+//! * [`EdgeTable`] — a fixed-size table of `(victim, aborter)` thread
+//!   pairs with counts: the who-aborted-whom summary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Count-min rows. Two independent hashes keep the overestimate small
+/// at the sketch sizes we use while costing only two `fetch_add`s.
+const SKETCH_ROWS: usize = 2;
+
+/// Per-row salt mixed into the address hash so the rows are
+/// independent.
+const SKETCH_SALTS: [u32; SKETCH_ROWS] = [0x9E37_79B9, 0x85EB_CA6B];
+
+/// Columns per row when the sketch is enabled (power of two).
+const SKETCH_COLS: usize = 128;
+
+/// Heavy-hitter slots tracked per shard.
+const TOP_SLOTS: usize = 16;
+
+/// A per-shard count-min sketch plus top-K heavy-hitter slots over
+/// conflicting heap addresses. All operations are lock-free; see the
+/// module docs for the race model.
+pub struct HotSketch {
+    counts: Box<[AtomicU64]>,
+    cols: usize,
+    keys: Box<[AtomicU64]>,
+    weights: Box<[AtomicU64]>,
+}
+
+fn atomic_zeroes(n: usize) -> Box<[AtomicU64]> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || AtomicU64::new(0));
+    v.into_boxed_slice()
+}
+
+impl HotSketch {
+    /// Create a sketch. When `enabled` is false (telemetry below
+    /// `Spans`) the rows collapse to one column each so a disabled
+    /// sketch costs a few words, not kilobytes.
+    pub fn new(enabled: bool) -> HotSketch {
+        let cols = if enabled { SKETCH_COLS } else { 1 };
+        HotSketch {
+            counts: atomic_zeroes(SKETCH_ROWS * cols),
+            cols,
+            keys: atomic_zeroes(TOP_SLOTS),
+            weights: atomic_zeroes(TOP_SLOTS),
+        }
+    }
+
+    /// Count one conflict on heap word `addr_index` and refresh the
+    /// heavy-hitter slots with its new estimate.
+    pub fn record(&self, addr_index: u32) {
+        let mask = self.cols - 1;
+        let mut est = u64::MAX;
+        for (row, salt) in SKETCH_SALTS.iter().enumerate() {
+            let col = crate::util::hash_u32(addr_index ^ salt) as usize & mask;
+            let v = self.counts[row * self.cols + col].fetch_add(1, Ordering::Relaxed) + 1;
+            est = est.min(v);
+        }
+        // Keys are stored +1 so 0 can mean "empty slot".
+        let key = addr_index as u64 + 1;
+        let mut min_i = 0usize;
+        let mut min_w = u64::MAX;
+        for i in 0..TOP_SLOTS {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            if k == key {
+                self.weights[i].fetch_max(est, Ordering::Relaxed);
+                return;
+            }
+            if k == 0 {
+                // Claim the empty slot. A racing claimer may overwrite
+                // us; the loser's counts survive in the sketch and its
+                // slot is re-established on its next record.
+                self.keys[i].store(key, Ordering::Relaxed);
+                self.weights[i].store(est, Ordering::Relaxed);
+                return;
+            }
+            let w = self.weights[i].load(Ordering::Relaxed);
+            if w < min_w {
+                min_w = w;
+                min_i = i;
+            }
+        }
+        if est > min_w {
+            self.keys[min_i].store(key, Ordering::Relaxed);
+            self.weights[min_i].store(est, Ordering::Relaxed);
+        }
+    }
+
+    /// Current heavy hitters as `(addr_index, estimated_count)` pairs,
+    /// unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        (0..TOP_SLOTS).filter_map(move |i| {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            if k == 0 {
+                None
+            } else {
+                Some(((k - 1) as u32, self.weights[i].load(Ordering::Relaxed)))
+            }
+        })
+    }
+}
+
+/// One aggregated who-aborted-whom edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictEdge {
+    /// Thread token of the aborted transaction.
+    pub victim: u64,
+    /// Thread token of the committer that invalidated it.
+    pub by: u64,
+    /// How many aborts this edge accounts for (approximate: a table
+    /// eviction under extreme thread churn resets an edge's count).
+    pub count: u64,
+}
+
+/// A per-shard fixed-size table of `(victim, aborter)` pairs.
+pub struct EdgeTable {
+    keys: Box<[AtomicU64]>,
+    counts: Box<[AtomicU64]>,
+}
+
+/// Pack a `(victim, by)` pair of thread tokens into one nonzero key
+/// word. Tokens are small sequential integers, so truncating to 32 bits
+/// each is lossless in practice; both are ≥ 1, so the key is never 0.
+fn edge_key(victim: u64, by: u64) -> u64 {
+    ((victim & 0xFFFF_FFFF) << 32) | (by & 0xFFFF_FFFF)
+}
+
+impl EdgeTable {
+    /// Create an empty table.
+    pub fn new() -> EdgeTable {
+        EdgeTable {
+            keys: atomic_zeroes(TOP_SLOTS),
+            counts: atomic_zeroes(TOP_SLOTS),
+        }
+    }
+
+    /// Count one abort of `victim` caused by `by`.
+    pub fn record(&self, victim: u64, by: u64) {
+        let key = edge_key(victim, by);
+        let mut min_i = 0usize;
+        let mut min_c = u64::MAX;
+        for i in 0..TOP_SLOTS {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            if k == key {
+                self.counts[i].fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if k == 0 {
+                self.keys[i].store(key, Ordering::Relaxed);
+                self.counts[i].store(1, Ordering::Relaxed);
+                return;
+            }
+            let c = self.counts[i].load(Ordering::Relaxed);
+            if c < min_c {
+                min_c = c;
+                min_i = i;
+            }
+        }
+        // Table full of other edges: evict the rarest. With ≤ 64 live
+        // threads a shard sees one victim, so this only fires under
+        // extreme thread churn.
+        self.keys[min_i].store(key, Ordering::Relaxed);
+        self.counts[min_i].store(1, Ordering::Relaxed);
+    }
+
+    /// Current edges, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = ConflictEdge> + '_ {
+        (0..TOP_SLOTS).filter_map(move |i| {
+            let k = self.keys[i].load(Ordering::Relaxed);
+            if k == 0 {
+                None
+            } else {
+                Some(ConflictEdge {
+                    victim: k >> 32,
+                    by: k & 0xFFFF_FFFF,
+                    count: self.counts[i].load(Ordering::Relaxed),
+                })
+            }
+        })
+    }
+}
+
+impl Default for EdgeTable {
+    fn default() -> Self {
+        EdgeTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_ranks_heavy_hitter_first() {
+        let s = HotSketch::new(true);
+        for _ in 0..100 {
+            s.record(7);
+        }
+        for a in 0..10u32 {
+            s.record(a + 100);
+        }
+        let mut top: Vec<_> = s.entries().collect();
+        top.sort_by_key(|e| std::cmp::Reverse(e.1));
+        assert_eq!(top[0].0, 7);
+        assert!(top[0].1 >= 100, "count-min never undercounts: {top:?}");
+    }
+
+    #[test]
+    fn sketch_eviction_keeps_the_heaviest() {
+        let s = HotSketch::new(true);
+        // More distinct keys than slots; one key dominates.
+        for a in 0..64u32 {
+            s.record(a);
+        }
+        for _ in 0..500 {
+            s.record(999);
+        }
+        let top: Vec<_> = s.entries().collect();
+        assert!(
+            top.iter().any(|&(k, w)| k == 999 && w >= 500),
+            "dominant key must survive eviction: {top:?}"
+        );
+        assert!(top.len() <= TOP_SLOTS);
+    }
+
+    #[test]
+    fn disabled_sketch_still_accepts_records() {
+        let s = HotSketch::new(false);
+        s.record(3);
+        s.record(3);
+        let top: Vec<_> = s.entries().collect();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, 3);
+    }
+
+    #[test]
+    fn edge_table_counts_pairs() {
+        let t = EdgeTable::new();
+        for _ in 0..5 {
+            t.record(2, 3);
+        }
+        t.record(2, 4);
+        let mut edges: Vec<_> = t.entries().collect();
+        edges.sort_by_key(|e| std::cmp::Reverse(e.count));
+        assert_eq!(
+            edges[0],
+            ConflictEdge {
+                victim: 2,
+                by: 3,
+                count: 5
+            }
+        );
+        assert_eq!(
+            edges[1],
+            ConflictEdge {
+                victim: 2,
+                by: 4,
+                count: 1
+            }
+        );
+    }
+}

@@ -65,11 +65,13 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod cm;
 pub mod config;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod hotspot;
 pub mod norec;
 pub mod ops;
 pub mod ring;
@@ -85,13 +87,15 @@ pub mod value;
 
 pub use cm::CmPolicy;
 pub use config::{Algorithm, StmConfig};
-pub use error::{Abort, AbortReason};
+pub use error::{Abort, AbortReason, Conflict};
 pub use heap::{Addr, Heap};
+pub use hotspot::ConflictEdge;
 pub use ops::CmpOp;
 pub use stats::StatsSnapshot;
 pub use stm::{Stm, Tx};
 pub use telemetry::{
-    AbortEvent, HistogramSnapshot, SamplePoint, Sampler, Telemetry, TelemetryLevel,
+    AbortEvent, HistogramSnapshot, PhaseRecorder, SamplePoint, Sampler, SpanEvent, Telemetry,
+    TelemetryLevel,
 };
 pub use tvar::{TArray, TVar};
 pub use value::{Fx32, Word};

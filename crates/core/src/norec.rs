@@ -23,6 +23,7 @@ use crate::ring::{filter_bit, FilterRing};
 use crate::sched;
 use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
+use crate::telemetry::PhaseRecorder;
 use crate::util::SpinWait;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -35,6 +36,15 @@ pub struct NorecGlobal {
     /// RingSTM-style per-commit write filters (used only when the
     /// `norec_ring_filters` knob is on; see [`crate::ring`]).
     ring: FilterRing,
+    /// Thread token of the most recent committer, stamped under the
+    /// sequence lock — and only when the flight recorder is on
+    /// (`TelemetryLevel::Spans`), so the default hot path never touches
+    /// this word. NOrec has no per-address metadata, so abort
+    /// attribution uses this as a "most recent committer" heuristic: it
+    /// names the right culprit whenever the invalidating commit is the
+    /// latest one, which under the single global lock is the common
+    /// case.
+    committer: AtomicU64,
 }
 
 impl NorecGlobal {
@@ -80,6 +90,13 @@ pub struct NorecTx<'a> {
     read_filter: u64,
     reads: Vec<ReadEntry>,
     writes: WriteSet,
+    /// Flight-recorder phase marks; inert (its enabled check is the
+    /// materialised `level >= Spans` guard) unless
+    /// [`NorecTx::enable_spans`] installed a live recorder.
+    phases: PhaseRecorder,
+    /// Stamp/read the global committer word for abort attribution.
+    /// Only true at `TelemetryLevel::Spans`.
+    record_committer: bool,
 }
 
 impl<'a> NorecTx<'a> {
@@ -99,7 +116,21 @@ impl<'a> NorecTx<'a> {
             read_filter: 0,
             reads: Vec::new(),
             writes: WriteSet::default(),
+            phases: PhaseRecorder::disabled(),
+            record_committer: false,
         }
+    }
+
+    /// Turn the flight recorder on for this context: install a live
+    /// phase recorder and enable committer stamping/attribution.
+    pub(crate) fn enable_spans(&mut self, recorder: PhaseRecorder) {
+        self.phases = recorder;
+        self.record_committer = recorder.is_enabled();
+    }
+
+    /// Current phase marks (read back by the span recorder).
+    pub(crate) fn phases(&self) -> PhaseRecorder {
+        self.phases
     }
 
     /// Begin (or re-begin after an abort): clear metadata and take an even
@@ -108,6 +139,7 @@ impl<'a> NorecTx<'a> {
         self.reads.clear();
         self.writes.clear();
         self.read_filter = 0;
+        self.phases.reset();
         let mut wait = SpinWait::new();
         loop {
             sched::point(sched::PointKind::NorecBegin);
@@ -126,6 +158,7 @@ impl<'a> NorecTx<'a> {
     /// time at which the read-set was observed consistent.
     /// Also advances `self.snapshot` to the returned time on success.
     fn validate(&mut self) -> Result<u64, Abort> {
+        self.phases.mark_validate();
         let mut wait = SpinWait::new();
         loop {
             sched::point(sched::PointKind::NorecValidate);
@@ -151,7 +184,7 @@ impl<'a> NorecTx<'a> {
             if !fast_clear && !fault::active(fault::SNOREC_SKIP_REVALIDATION) {
                 for e in &self.reads {
                     if !e.holds(self.heap) {
-                        return Err(Abort::validation());
+                        return Err(self.attributed_validation(e));
                     }
                 }
             }
@@ -304,6 +337,18 @@ impl<'a> NorecTx<'a> {
         self.writes.inc(addr, delta);
     }
 
+    /// The failing entry's address plus, when the flight recorder is
+    /// on, the most-recent-committer heuristic (see
+    /// [`NorecGlobal::committer`]).
+    fn attributed_validation(&self, entry: &ReadEntry) -> Abort {
+        let mut abort = Abort::validation().at_addr(entry.addrs().0);
+        if self.record_committer {
+            // 0 (never stamped) is `Conflict`'s "unknown" sentinel.
+            abort = abort.by(self.global.committer.load(Ordering::Relaxed));
+        }
+        abort
+    }
+
     /// Commit. Read-only transactions commit immediately (their last
     /// validation is their serialisation point); writers grab the global
     /// sequence lock, re-validating until the CAS lands, then write back
@@ -312,6 +357,7 @@ impl<'a> NorecTx<'a> {
         if self.writes.is_empty() {
             return Ok(());
         }
+        self.phases.mark_lock();
         let mut snap = self.snapshot;
         loop {
             sched::point(sched::PointKind::NorecCommitAcquire);
@@ -320,9 +366,17 @@ impl<'a> NorecTx<'a> {
             }
             snap = self.validate()?;
         }
+        if self.record_committer {
+            // Under the lock: a reader that observes the released time
+            // also observes (at least) this committer token.
+            self.global
+                .committer
+                .store(crate::util::thread_token(), Ordering::Relaxed);
+        }
         // Lock held: from here through `release` the write-back is one
         // atomic step of the virtual schedule (no further sched points).
         sched::point(sched::PointKind::NorecWriteback);
+        self.phases.mark_writeback();
         let mut write_filter = 0u64;
         for (addr, e) in self.writes.iter() {
             let v = match e.kind {
@@ -344,6 +398,11 @@ impl<'a> NorecTx<'a> {
     /// Number of read-set entries (diagnostics/tests).
     pub(crate) fn read_set_len(&self) -> usize {
         self.reads.len()
+    }
+
+    /// Number of write-set entries (flight-recorder spans).
+    pub(crate) fn write_set_len(&self) -> usize {
+        self.writes.len()
     }
 
     /// Whether the transaction has buffered writes.
@@ -599,6 +658,47 @@ mod tests {
         t2.commit().unwrap();
         t1.write(out, 1);
         t1.commit().expect("relation still holds");
+    }
+
+    #[test]
+    fn validation_abort_attributes_address_and_committer() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        heap.store(a, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = NorecTx::new(&heap, &global, false, false);
+        t1.enable_spans(PhaseRecorder::enabled(std::time::Instant::now()));
+        t1.begin();
+        assert_eq!(t1.read(a, &mut ops).unwrap(), 5);
+        // Concurrent commit with the recorder on stamps the committer.
+        let mut t2 = NorecTx::new(&heap, &global, false, false);
+        t2.enable_spans(PhaseRecorder::enabled(std::time::Instant::now()));
+        t2.begin();
+        t2.write(a, 6);
+        t2.commit().unwrap();
+        t1.write(a, 100);
+        let err = t1.commit().unwrap_err();
+        assert_eq!(err, Abort::validation());
+        assert_eq!(err.conflict().addr(), Some(a));
+        assert_eq!(err.conflict().by(), Some(crate::util::thread_token()));
+    }
+
+    #[test]
+    fn attribution_is_absent_without_spans() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        heap.store(a, 5);
+        let mut ops = OpCounts::default();
+        let mut t1 = NorecTx::new(&heap, &global, false, false);
+        t1.begin();
+        assert_eq!(t1.read(a, &mut ops).unwrap(), 5);
+        commit_write(&heap, &global, a, 6);
+        t1.write(a, 100);
+        let err = t1.commit().unwrap_err();
+        // Address is free to attribute (no extra atomics), but the
+        // committer heuristic needs the gated stamp — absent here.
+        assert_eq!(err.conflict().addr(), Some(a));
+        assert_eq!(err.conflict().by(), None);
     }
 
     #[test]

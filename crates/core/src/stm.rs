@@ -13,12 +13,12 @@
 
 use crate::cm::ContentionManager;
 use crate::config::{Algorithm, StmConfig};
-use crate::error::{Abort, AbortReason};
+use crate::error::{Abort, AbortReason, Conflict};
 use crate::heap::{Addr, Heap};
 use crate::norec::{NorecGlobal, NorecTx};
 use crate::ops::CmpOp;
 use crate::stats::{OpCounts, StatsSnapshot};
-use crate::telemetry::{Telemetry, TelemetryLevel};
+use crate::telemetry::{PhaseRecorder, SpanEvent, Telemetry, TelemetryLevel};
 use crate::tl2::{Tl2Global, Tl2Tx};
 use crate::util::thread_token;
 use crate::value::Word;
@@ -121,6 +121,7 @@ impl Stm {
         let shard = self.telemetry.shard();
         let histograms = self.telemetry.level() >= TelemetryLevel::Histograms;
         let trace = self.telemetry.level() >= TelemetryLevel::Trace;
+        let spans = self.telemetry.level() >= TelemetryLevel::Spans;
         let started = if histograms {
             Some(Instant::now())
         } else {
@@ -129,6 +130,13 @@ impl Stm {
         let mut attempt: u32 = 0;
         let mut attempts_total: u64 = 1;
         loop {
+            // Every per-attempt flight-recorder cost sits behind the
+            // `spans` guard; at lower levels this loop is unchanged.
+            let attempt_start = if spans {
+                self.telemetry.elapsed_ns()
+            } else {
+                0
+            };
             tx.begin();
             let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
             match outcome {
@@ -142,10 +150,30 @@ impl Stm {
                             tx.compare_set_len(),
                         );
                     }
+                    if spans {
+                        let end = self.telemetry.elapsed_ns();
+                        self.telemetry.record_span(tx.span(
+                            attempt_start,
+                            end,
+                            attempts_total as u32,
+                            None,
+                        ));
+                    }
                     return v;
                 }
                 Err(abort) => {
-                    // Capture set sizes before rollback releases them.
+                    // Capture the span (set sizes and all) before rollback
+                    // releases the metadata.
+                    let span = if spans {
+                        Some(tx.span(
+                            attempt_start,
+                            self.telemetry.elapsed_ns(),
+                            attempts_total as u32,
+                            Some((abort.reason, abort.conflict())),
+                        ))
+                    } else {
+                        None
+                    };
                     let (rs, cs) = if trace {
                         (tx.read_set_len(), tx.compare_set_len())
                     } else {
@@ -156,10 +184,16 @@ impl Stm {
                     if trace {
                         self.telemetry.record_abort_event(
                             abort.reason,
+                            abort.conflict(),
                             attempts_total as u32,
                             rs,
                             cs,
                         );
+                    }
+                    if let Some(span) = span {
+                        let victim = span.thread;
+                        self.telemetry.record_span(span);
+                        self.telemetry.record_conflict(victim, abort.conflict());
                     }
                     let spins = cm.pause(attempt, abort.reason);
                     if histograms {
@@ -233,11 +267,22 @@ impl<'a> Tx<'a> {
             )),
             _ => unreachable!("baseline() returns a baseline"),
         };
-        Tx {
+        let mut tx = Tx {
             inner,
             semantic: stm.config.algorithm.is_semantic(),
             ops: OpCounts::default(),
+        };
+        // At Spans the recorder is live (its epoch is the telemetry
+        // clock); below, this installs the inert recorder — the no-op
+        // marks inside the algorithms stay behind its `None` check.
+        let recorder = stm.telemetry.phase_recorder();
+        if recorder.is_enabled() {
+            match &mut tx.inner {
+                TxInner::Norec(t) => t.enable_spans(recorder),
+                TxInner::Tl2(t) => t.enable_spans(recorder),
+            }
         }
+        tx
     }
 
     fn begin(&mut self) {
@@ -391,6 +436,46 @@ impl<'a> Tx<'a> {
             TxInner::Tl2(t) => t.is_writer(),
         }
     }
+
+    fn write_set_len(&self) -> usize {
+        match &self.inner {
+            TxInner::Norec(t) => t.write_set_len(),
+            TxInner::Tl2(t) => t.write_set_len(),
+        }
+    }
+
+    fn phases(&self) -> PhaseRecorder {
+        match &self.inner {
+            TxInner::Norec(t) => t.phases(),
+            TxInner::Tl2(t) => t.phases(),
+        }
+    }
+
+    /// Snapshot this attempt as a flight-recorder span. Must run before
+    /// rollback (the set sizes are still live) — `Stm::atomic` is the
+    /// only caller.
+    fn span(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        attempt: u32,
+        abort: Option<(AbortReason, Conflict)>,
+    ) -> SpanEvent {
+        let phases = self.phases();
+        SpanEvent {
+            thread: thread_token(),
+            start_ns,
+            end_ns,
+            validate_ns: phases.validate_ns(),
+            lock_ns: phases.lock_ns(),
+            writeback_ns: phases.writeback_ns(),
+            attempt,
+            read_set: self.read_set_len(),
+            write_set: self.write_set_len(),
+            compare_set: self.compare_set_len(),
+            abort,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -479,6 +564,81 @@ mod tests {
         assert_eq!(r, Err(Abort::explicit()));
         assert_eq!(stm.stats().aborts_explicit, 1);
         assert_eq!(stm.stats().commits, 0);
+    }
+
+    #[test]
+    fn spans_level_records_a_span_per_attempt() {
+        for alg in Algorithm::ALL {
+            let stm = Stm::new(
+                StmConfig::new(alg)
+                    .heap_words(64)
+                    .orec_count(16)
+                    .telemetry(TelemetryLevel::Spans),
+            );
+            let a = stm.alloc_cell(1i64);
+            stm.atomic(|tx| {
+                let v = tx.read(a)?;
+                tx.write(a, v + 1)
+            });
+            let spans = stm.telemetry().span_events();
+            assert_eq!(spans.len(), 1, "{alg}");
+            let s = &spans[0];
+            assert!(s.committed(), "{alg}");
+            assert!(s.end_ns >= s.start_ns, "{alg}");
+            assert_eq!(s.attempt, 1, "{alg}");
+            assert_eq!(s.write_set, 1, "{alg}");
+            assert!(s.lock_ns.is_some(), "{alg}: writer must mark lock phase");
+            assert!(
+                s.writeback_ns.is_some(),
+                "{alg}: writer must mark writeback"
+            );
+        }
+    }
+
+    #[test]
+    fn aborted_attempts_record_abort_spans() {
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(64)
+                .telemetry(TelemetryLevel::Spans),
+        );
+        let a = stm.alloc_cell(0i64);
+        let mut first = true;
+        stm.atomic(|tx| {
+            tx.inc(a, 1)?;
+            if first {
+                first = false;
+                return Err(Abort::explicit());
+            }
+            Ok(())
+        });
+        let spans = stm.telemetry().span_events();
+        assert_eq!(spans.len(), 2, "one span per attempt");
+        let aborted = spans.iter().find(|s| !s.committed()).unwrap();
+        assert_eq!(aborted.abort.unwrap().0, AbortReason::Explicit);
+        assert_eq!(aborted.attempt, 1);
+        let committed = spans.iter().find(|s| s.committed()).unwrap();
+        assert_eq!(committed.attempt, 2);
+    }
+
+    #[test]
+    fn below_spans_no_span_is_recorded() {
+        for level in [
+            TelemetryLevel::Counters,
+            TelemetryLevel::Histograms,
+            TelemetryLevel::Trace,
+        ] {
+            let stm = Stm::new(
+                StmConfig::new(Algorithm::STl2)
+                    .heap_words(64)
+                    .orec_count(16)
+                    .telemetry(level),
+            );
+            let a = stm.alloc_cell(1i64);
+            stm.atomic(|tx| tx.inc(a, 1));
+            assert!(stm.telemetry().span_events().is_empty());
+            assert!(stm.telemetry().hot_addresses().is_empty());
+        }
     }
 
     #[test]

@@ -25,13 +25,23 @@
 //!   per-thread fixed-capacity [`EventRing`](crate::ring::EventRing) of
 //!   [`AbortEvent`]s for postmortem dumps (who aborted, why, at which
 //!   attempt, carrying how much metadata).
+//! * [`TelemetryLevel::Spans`] — the flight recorder: additionally
+//!   records every transaction *attempt* as a [`SpanEvent`]
+//!   (begin/validate/lock/writeback/end timestamps plus set sizes) into
+//!   a second per-thread ring, attributes each abort to the conflicting
+//!   address/orec and committer where knowable
+//!   ([`Conflict`](crate::error::Conflict)), and feeds the per-shard
+//!   hot-address sketch behind [`Telemetry::hot_addresses`] and the
+//!   who-aborted-whom summary behind [`Telemetry::conflict_edges`].
 //!
 //! The [`Sampler`] turns successive [`StatsSnapshot`]s into a
 //! throughput/abort-rate time series ([`SamplePoint`]) — the exporter
 //! side lives in the bench crate's report writer.
 
 use crate::config::Algorithm;
-use crate::error::AbortReason;
+use crate::error::{AbortReason, Conflict};
+use crate::heap::Addr;
+use crate::hotspot::{ConflictEdge, EdgeTable, HotSketch};
 use crate::ring::EventRing;
 use crate::stats::{OpCounts, StatsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,7 +49,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// How much the runtime records. Levels are cumulative and ordered:
-/// `Counters < Histograms < Trace`.
+/// `Counters < Histograms < Trace < Spans`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub enum TelemetryLevel {
     /// Sharded commit/abort/operation counters only (default).
@@ -48,6 +58,9 @@ pub enum TelemetryLevel {
     Histograms,
     /// Histograms plus the per-thread abort-event trace ring.
     Trace,
+    /// Trace plus the transaction flight recorder: per-attempt spans,
+    /// abort attribution, hot-address sketch, conflict summary.
+    Spans,
 }
 
 impl TelemetryLevel {
@@ -57,6 +70,7 @@ impl TelemetryLevel {
             TelemetryLevel::Counters => "counters",
             TelemetryLevel::Histograms => "histograms",
             TelemetryLevel::Trace => "trace",
+            TelemetryLevel::Spans => "spans",
         }
     }
 }
@@ -191,6 +205,7 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    min: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -202,6 +217,9 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            // Sentinel: `fetch_min` pulls this down on the first sample;
+            // the snapshot reports 0 while the histogram is empty.
+            min: AtomicU64::new(u64::MAX),
         }
     }
 }
@@ -214,19 +232,29 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
     }
 
     /// Copy out a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let raw_min = self.min.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: self
                 .buckets
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            // The sentinel can also be visible transiently when a racing
+            // `record` has bumped `count` but not yet lowered `min`.
+            min: if count == 0 || raw_min == u64::MAX {
+                0
+            } else {
+                raw_min
+            },
         }
     }
 }
@@ -238,6 +266,7 @@ pub struct HistogramSnapshot {
     count: u64,
     sum: u64,
     max: u64,
+    min: u64,
 }
 
 impl HistogramSnapshot {
@@ -255,6 +284,11 @@ impl HistogramSnapshot {
     /// Largest recorded sample (exact).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Smallest recorded sample (exact), 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
     }
 
     /// Mean of all recorded samples, 0.0 when empty.
@@ -321,12 +355,161 @@ pub struct AbortEvent {
     pub algorithm: Algorithm,
     /// Why the attempt aborted.
     pub reason: AbortReason,
+    /// Best-effort attribution: the conflicting address/orec and the
+    /// committer that caused the abort, where the algorithm knew them.
+    pub conflict: Conflict,
     /// 1-based attempt number within its transaction (1 = first try).
     pub attempt: u32,
     /// Read-set entries at abort time.
     pub read_set: usize,
     /// Compare-set entries at abort time (0 for the NOrec family).
     pub compare_set: usize,
+}
+
+// --- flight-recorder spans ------------------------------------------------
+
+/// One transaction attempt as recorded at [`TelemetryLevel::Spans`]:
+/// a begin/end interval with optional intra-attempt phase marks and,
+/// for aborted attempts, the attributed cause. The raw material of the
+/// Chrome trace-event export ([`crate::chrome`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// [Thread token](crate::util::thread_token) of the executing
+    /// thread — one timeline track per thread.
+    pub thread: u64,
+    /// Attempt start, nanoseconds on the owning [`Telemetry`] timeline.
+    pub start_ns: u64,
+    /// Attempt end (commit completed or abort detected).
+    pub end_ns: u64,
+    /// When validation first ran within this attempt, if it did.
+    pub validate_ns: Option<u64>,
+    /// When commit-time lock acquisition first ran, if it did.
+    pub lock_ns: Option<u64>,
+    /// When writeback first ran, if it did.
+    pub writeback_ns: Option<u64>,
+    /// 1-based attempt number within its transaction.
+    pub attempt: u32,
+    /// Read-set entries at attempt end.
+    pub read_set: usize,
+    /// Write-set entries at attempt end.
+    pub write_set: usize,
+    /// Compare-set entries at attempt end (0 for the NOrec family).
+    pub compare_set: usize,
+    /// `None` for a committed attempt; the cause and attribution for an
+    /// aborted one.
+    pub abort: Option<(AbortReason, Conflict)>,
+}
+
+impl SpanEvent {
+    /// Did this attempt commit?
+    #[inline]
+    pub fn committed(&self) -> bool {
+        self.abort.is_none()
+    }
+
+    /// Attempt duration in nanoseconds.
+    #[inline]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Intra-attempt phase-timestamp recorder, embedded in the per-thread
+/// transaction contexts. Construction from
+/// [`Telemetry::phase_recorder`] materialises the `level >= Spans`
+/// check once into the `epoch` field: a disabled recorder's marks are
+/// a single always-false branch, so the `Counters` hot path takes no
+/// clock reads.
+///
+/// Marks are first-wins within an attempt ([`PhaseRecorder::reset`]
+/// clears them at attempt begin), so a validation retry loop records
+/// when validation *started*.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseRecorder {
+    epoch: Option<Instant>,
+    validate_ns: Option<u64>,
+    lock_ns: Option<u64>,
+    writeback_ns: Option<u64>,
+}
+
+impl PhaseRecorder {
+    /// A recorder whose marks are no-ops (telemetry below `Spans`).
+    #[inline]
+    pub fn disabled() -> PhaseRecorder {
+        PhaseRecorder::default()
+    }
+
+    /// A live recorder stamping nanoseconds since `epoch` (the owning
+    /// [`Telemetry`]'s creation instant, so marks share the span
+    /// timeline).
+    #[inline]
+    pub fn enabled(epoch: Instant) -> PhaseRecorder {
+        PhaseRecorder {
+            epoch: Some(epoch),
+            ..PhaseRecorder::default()
+        }
+    }
+
+    /// Is this recorder live?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    #[inline]
+    fn stamp(&self) -> Option<u64> {
+        self.epoch.map(|e| e.elapsed().as_nanos() as u64)
+    }
+
+    /// Mark the start of validation (first call per attempt wins).
+    #[inline]
+    pub fn mark_validate(&mut self) {
+        if self.validate_ns.is_none() {
+            self.validate_ns = self.stamp();
+        }
+    }
+
+    /// Mark the start of commit-time lock acquisition.
+    #[inline]
+    pub fn mark_lock(&mut self) {
+        if self.lock_ns.is_none() {
+            self.lock_ns = self.stamp();
+        }
+    }
+
+    /// Mark the start of writeback.
+    #[inline]
+    pub fn mark_writeback(&mut self) {
+        if self.writeback_ns.is_none() {
+            self.writeback_ns = self.stamp();
+        }
+    }
+
+    /// Clear the marks for a fresh attempt (keeps the epoch).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.validate_ns = None;
+        self.lock_ns = None;
+        self.writeback_ns = None;
+    }
+
+    /// The validation mark, if any.
+    #[inline]
+    pub fn validate_ns(&self) -> Option<u64> {
+        self.validate_ns
+    }
+
+    /// The lock-acquisition mark, if any.
+    #[inline]
+    pub fn lock_ns(&self) -> Option<u64> {
+        self.lock_ns
+    }
+
+    /// The writeback mark, if any.
+    #[inline]
+    pub fn writeback_ns(&self) -> Option<u64> {
+        self.writeback_ns
+    }
 }
 
 // --- sampler --------------------------------------------------------------
@@ -405,23 +588,42 @@ pub struct Telemetry {
     commit_compare_set: Histogram,
     backoff_spins: Histogram,
     traces: Box<[Mutex<EventRing<AbortEvent>>]>,
+    spans: Box<[Mutex<EventRing<SpanEvent>>]>,
+    hot: Box<[HotSketch]>,
+    edges: Box<[EdgeTable]>,
 }
 
 impl Telemetry {
     /// Create telemetry state for one runtime instance. `trace_capacity`
-    /// is the per-thread abort-ring capacity (newest events win).
+    /// is the per-thread ring capacity (newest events win) — it governs
+    /// both the abort-event rings (≥ `Trace`) and the span rings
+    /// (≥ `Spans`). See [`crate::StmConfig::trace_capacity`] for the
+    /// memory cost.
     pub fn new(level: TelemetryLevel, algorithm: Algorithm, trace_capacity: usize) -> Telemetry {
         let mut shards = Vec::with_capacity(SHARDS);
         shards.resize_with(SHARDS, StatShard::default);
-        // The rings only ever see events at Trace level; size them to 1
-        // otherwise so a disabled trace costs a few words, not megabytes.
-        let ring_capacity = if level == TelemetryLevel::Trace {
+        // The rings only ever see events at their level or above; size
+        // them to 1 otherwise so a disabled trace costs a few words, not
+        // megabytes.
+        let ring_capacity = if level >= TelemetryLevel::Trace {
             trace_capacity.max(1)
         } else {
             1
         };
+        let span_capacity = if level >= TelemetryLevel::Spans {
+            trace_capacity.max(1)
+        } else {
+            1
+        };
+        let spans_on = level >= TelemetryLevel::Spans;
         let mut traces = Vec::with_capacity(SHARDS);
         traces.resize_with(SHARDS, || Mutex::new(EventRing::new(ring_capacity)));
+        let mut spans = Vec::with_capacity(SHARDS);
+        spans.resize_with(SHARDS, || Mutex::new(EventRing::new(span_capacity)));
+        let mut hot = Vec::with_capacity(SHARDS);
+        hot.resize_with(SHARDS, || HotSketch::new(spans_on));
+        let mut edges = Vec::with_capacity(SHARDS);
+        edges.resize_with(SHARDS, EdgeTable::new);
         Telemetry {
             level,
             algorithm,
@@ -433,6 +635,9 @@ impl Telemetry {
             commit_compare_set: Histogram::default(),
             backoff_spins: Histogram::default(),
             traces: traces.into_boxed_slice(),
+            spans: spans.into_boxed_slice(),
+            hot: hot.into_boxed_slice(),
+            edges: edges.into_boxed_slice(),
         }
     }
 
@@ -488,11 +693,19 @@ impl Telemetry {
     }
 
     /// Append an abort event to the calling thread's trace ring.
-    pub fn record_abort_event(&self, reason: AbortReason, attempt: u32, rs: usize, cs: usize) {
+    pub fn record_abort_event(
+        &self,
+        reason: AbortReason,
+        conflict: Conflict,
+        attempt: u32,
+        rs: usize,
+        cs: usize,
+    ) {
         let event = AbortEvent {
             timestamp_ns: self.elapsed_ns(),
             algorithm: self.algorithm,
             reason,
+            conflict,
             attempt,
             read_set: rs,
             compare_set: cs,
@@ -500,6 +713,39 @@ impl Telemetry {
         let slot = crate::util::thread_token() as usize % SHARDS;
         if let Ok(mut ring) = self.traces[slot].lock() {
             ring.push(event);
+        }
+    }
+
+    /// A [`PhaseRecorder`] appropriate for this telemetry level: live
+    /// (sharing this instance's timeline) at `Spans`, inert below.
+    #[inline]
+    pub fn phase_recorder(&self) -> PhaseRecorder {
+        if self.level >= TelemetryLevel::Spans {
+            PhaseRecorder::enabled(self.started)
+        } else {
+            PhaseRecorder::disabled()
+        }
+    }
+
+    /// Append a flight-recorder span to the calling thread's span ring
+    /// (spans level).
+    pub fn record_span(&self, event: SpanEvent) {
+        let slot = crate::util::thread_token() as usize % SHARDS;
+        if let Ok(mut ring) = self.spans[slot].lock() {
+            ring.push(event);
+        }
+    }
+
+    /// Feed an abort's attribution into the hot-address sketch and the
+    /// who-aborted-whom table (spans level). `victim` is the aborted
+    /// transaction's thread token.
+    pub fn record_conflict(&self, victim: u64, conflict: Conflict) {
+        let slot = victim as usize % SHARDS;
+        if let Some(addr) = conflict.addr() {
+            self.hot[slot].record(addr.index() as u32);
+        }
+        if let Some(by) = conflict.by() {
+            self.edges[slot].record(victim, by);
         }
     }
 
@@ -547,6 +793,76 @@ impl Telemetry {
             .filter_map(|r| r.lock().ok().map(|ring| ring.evicted()))
             .sum()
     }
+
+    /// All retained flight-recorder spans, merged across threads and
+    /// sorted by start time. Each thread retains at most
+    /// `trace_capacity` newest spans.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in self.spans.iter() {
+            if let Ok(ring) = ring.lock() {
+                out.extend(ring.iter().copied());
+            }
+        }
+        out.sort_by_key(|e| (e.start_ns, e.end_ns));
+        out
+    }
+
+    /// Total spans evicted from span rings (nonzero means the timeline
+    /// is missing its oldest attempts).
+    pub fn spans_evicted(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter_map(|r| r.lock().ok().map(|ring| ring.evicted()))
+            .sum()
+    }
+
+    /// The most contended heap addresses seen by abort attribution,
+    /// ranked by estimated conflict count (descending; ties broken by
+    /// address for determinism). Merges the per-shard sketches; the
+    /// estimates are count-min upper bounds, so ranks are reliable for
+    /// genuinely hot addresses and noisy for one-off conflicts. Empty
+    /// below [`TelemetryLevel::Spans`].
+    pub fn hot_addresses(&self) -> Vec<(Addr, u64)> {
+        let mut agg: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for sketch in self.hot.iter() {
+            for (addr, weight) in sketch.entries() {
+                *agg.entry(addr).or_insert(0) += weight;
+            }
+        }
+        let mut out: Vec<(u32, u64)> = agg.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.into_iter()
+            .map(|(a, w)| (Addr::from_index(a as usize), w))
+            .collect()
+    }
+
+    /// The who-aborted-whom summary: aggregated `(victim, aborter)`
+    /// thread pairs with abort counts, heaviest first (ties broken by
+    /// victim then aborter token). Empty below
+    /// [`TelemetryLevel::Spans`], and only as complete as the
+    /// algorithms' attribution (TL2 lock conflicts name the owner
+    /// exactly; NOrec validation failures use the most-recent-committer
+    /// heuristic).
+    pub fn conflict_edges(&self) -> Vec<ConflictEdge> {
+        let mut agg: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+        for table in self.edges.iter() {
+            for e in table.entries() {
+                *agg.entry((e.victim, e.by)).or_insert(0) += e.count;
+            }
+        }
+        let mut out: Vec<ConflictEdge> = agg
+            .into_iter()
+            .map(|((victim, by), count)| ConflictEdge { victim, by, count })
+            .collect();
+        out.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.victim.cmp(&b.victim))
+                .then(a.by.cmp(&b.by))
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +873,7 @@ mod tests {
     fn levels_are_ordered() {
         assert!(TelemetryLevel::Counters < TelemetryLevel::Histograms);
         assert!(TelemetryLevel::Histograms < TelemetryLevel::Trace);
+        assert!(TelemetryLevel::Trace < TelemetryLevel::Spans);
     }
 
     #[test]
@@ -694,13 +1011,225 @@ mod tests {
     #[test]
     fn trace_records_and_sorts_events() {
         let t = Telemetry::new(TelemetryLevel::Trace, Algorithm::STl2, 8);
-        t.record_abort_event(AbortReason::Validation, 1, 3, 2);
-        t.record_abort_event(AbortReason::Locked, 2, 5, 0);
+        t.record_abort_event(AbortReason::Validation, Conflict::NONE, 1, 3, 2);
+        t.record_abort_event(AbortReason::Locked, Conflict::NONE, 2, 5, 0);
         let events = t.trace_events();
         assert_eq!(events.len(), 2);
         assert!(events[0].timestamp_ns <= events[1].timestamp_ns);
         assert_eq!(events[0].reason, AbortReason::Validation);
         assert_eq!(events[0].algorithm, Algorithm::STl2);
+        assert!(events[0].conflict.is_none());
         assert_eq!(t.trace_evicted(), 0);
+    }
+
+    #[test]
+    fn trace_events_carry_attribution() {
+        let t = Telemetry::new(TelemetryLevel::Trace, Algorithm::SNOrec, 8);
+        let conflict = crate::error::Abort::validation()
+            .at_addr(Addr::from_index(42))
+            .by(7)
+            .conflict();
+        t.record_abort_event(AbortReason::Validation, conflict, 1, 3, 0);
+        let events = t.trace_events();
+        assert_eq!(events[0].conflict.addr(), Some(Addr::from_index(42)));
+        assert_eq!(events[0].conflict.by(), Some(7));
+    }
+
+    #[test]
+    fn histogram_min_tracks_smallest_sample() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().min(), 0, "empty histogram reports 0");
+        h.record(500);
+        assert_eq!(h.snapshot().min(), 500);
+        h.record(3);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.min(), 3);
+        assert_eq!(s.max(), 1000);
+        assert!(s.min() <= s.max());
+    }
+
+    #[test]
+    fn histogram_min_handles_zero_sample() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(9);
+        assert_eq!(h.snapshot().min(), 0);
+        assert_eq!(h.snapshot().count(), 2);
+    }
+
+    // Satellite: deterministic property sweep over the bucketing maps.
+    #[test]
+    fn bucket_lower_bound_never_exceeds_value() {
+        let mut values = vec![0u64, 1, u64::MAX];
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            values.push(p);
+            values.push(p.saturating_sub(1));
+            values.push(p.saturating_add(1));
+        }
+        let mut rng = crate::util::SplitMix64::new(0xB0C4_0001);
+        for _ in 0..10_000 {
+            // Shift to cover every magnitude, not just 64-bit values.
+            values.push(rng.next_u64() >> rng.below(64));
+        }
+        for &v in &values {
+            let i = bucket_index(v);
+            assert!(i < HISTOGRAM_BUCKETS, "v={v} index={i} out of range");
+            let lb = bucket_lower_bound(i);
+            assert!(lb <= v, "v={v} bucket={i} lower_bound={lb}");
+        }
+    }
+
+    #[test]
+    fn value_at_quantile_is_monotone_in_q() {
+        let h = Histogram::default();
+        let mut rng = crate::util::SplitMix64::new(0xB0C4_0002);
+        for _ in 0..2_000 {
+            h.record(rng.next_u64() >> rng.below(60));
+        }
+        let s = h.snapshot();
+        let mut prev = 0u64;
+        for step in 0..=100u32 {
+            let q = step as f64 / 100.0;
+            let v = s.value_at_quantile(q);
+            assert!(v >= prev, "quantile not monotone: q={q} v={v} prev={prev}");
+            prev = v;
+        }
+        assert!(s.value_at_quantile(1.0) <= s.max());
+        assert!(s.value_at_quantile(0.0) >= s.min().min(1));
+    }
+
+    #[test]
+    fn span_ring_records_and_sorts() {
+        let t = Telemetry::new(TelemetryLevel::Spans, Algorithm::SNOrec, 8);
+        let span = |start: u64, end: u64, abort| SpanEvent {
+            thread: 1,
+            start_ns: start,
+            end_ns: end,
+            validate_ns: None,
+            lock_ns: None,
+            writeback_ns: None,
+            attempt: 1,
+            read_set: 2,
+            write_set: 1,
+            compare_set: 0,
+            abort,
+        };
+        t.record_span(span(
+            50,
+            90,
+            Some((AbortReason::Validation, Conflict::NONE)),
+        ));
+        t.record_span(span(10, 40, None));
+        let spans = t.span_events();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start_ns, 10);
+        assert!(spans[0].committed());
+        assert_eq!(spans[0].duration_ns(), 30);
+        assert!(!spans[1].committed());
+        assert_eq!(t.spans_evicted(), 0);
+    }
+
+    #[test]
+    fn span_ring_capacity_follows_trace_capacity() {
+        let t = Telemetry::new(TelemetryLevel::Spans, Algorithm::NOrec, 2);
+        for i in 0..5u64 {
+            t.record_span(SpanEvent {
+                thread: 1,
+                start_ns: i,
+                end_ns: i + 1,
+                validate_ns: None,
+                lock_ns: None,
+                writeback_ns: None,
+                attempt: 1,
+                read_set: 0,
+                write_set: 0,
+                compare_set: 0,
+                abort: None,
+            });
+        }
+        assert_eq!(t.span_events().len(), 2, "ring keeps the newest 2");
+        assert_eq!(t.spans_evicted(), 3);
+    }
+
+    #[test]
+    fn phase_recorder_disabled_records_nothing() {
+        let mut p = PhaseRecorder::disabled();
+        assert!(!p.is_enabled());
+        p.mark_validate();
+        p.mark_lock();
+        p.mark_writeback();
+        assert_eq!(p.validate_ns(), None);
+        assert_eq!(p.lock_ns(), None);
+        assert_eq!(p.writeback_ns(), None);
+    }
+
+    #[test]
+    fn phase_recorder_marks_are_first_wins_and_resettable() {
+        let mut p = PhaseRecorder::enabled(Instant::now());
+        assert!(p.is_enabled());
+        p.mark_validate();
+        let first = p.validate_ns().expect("enabled recorder stamps");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        p.mark_validate();
+        assert_eq!(p.validate_ns(), Some(first), "first mark wins");
+        p.reset();
+        assert_eq!(p.validate_ns(), None);
+        assert!(p.is_enabled(), "reset keeps the epoch");
+    }
+
+    #[test]
+    fn hot_addresses_rank_by_conflict_weight() {
+        let t = Telemetry::new(TelemetryLevel::Spans, Algorithm::SNOrec, 8);
+        let hit = |addr: usize| {
+            crate::error::Abort::validation()
+                .at_addr(Addr::from_index(addr))
+                .conflict()
+        };
+        for _ in 0..20 {
+            t.record_conflict(1, hit(5));
+        }
+        for _ in 0..3 {
+            t.record_conflict(2, hit(9));
+        }
+        let hot = t.hot_addresses();
+        assert!(hot.len() >= 2);
+        assert_eq!(hot[0].0, Addr::from_index(5));
+        assert!(hot[0].1 >= 20);
+        assert_eq!(hot[1].0, Addr::from_index(9));
+    }
+
+    #[test]
+    fn conflict_edges_aggregate_across_shards() {
+        let t = Telemetry::new(TelemetryLevel::Spans, Algorithm::STl2, 8);
+        let by = |token: u64| crate::error::Abort::locked().by(token).conflict();
+        // Same edge recorded from two victims mapping to different shards.
+        for _ in 0..4 {
+            t.record_conflict(1, by(9));
+        }
+        t.record_conflict(2, by(9));
+        let edges = t.conflict_edges();
+        assert_eq!(
+            edges[0],
+            ConflictEdge {
+                victim: 1,
+                by: 9,
+                count: 4
+            }
+        );
+        assert!(edges.contains(&ConflictEdge {
+            victim: 2,
+            by: 9,
+            count: 1
+        }));
+    }
+
+    #[test]
+    fn unattributed_conflicts_leave_sketches_empty() {
+        let t = Telemetry::new(TelemetryLevel::Spans, Algorithm::NOrec, 8);
+        t.record_conflict(1, Conflict::NONE);
+        assert!(t.hot_addresses().is_empty());
+        assert!(t.conflict_edges().is_empty());
     }
 }

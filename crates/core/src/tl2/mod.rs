@@ -36,6 +36,7 @@ use crate::ops::CmpOp;
 use crate::sched;
 use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
+use crate::telemetry::PhaseRecorder;
 use crate::util::{thread_token, SpinWait};
 use orec::{OrecTable, OrecWord};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Tl2Global {
     timestamp: AtomicU64,
     orecs: OrecTable,
+    /// Thread token of the most recent committed writer, stamped while
+    /// its commit locks are still held — but only when the flight
+    /// recorder ([`crate::TelemetryLevel::Spans`]) is on. Validation
+    /// aborts read it as a "who probably invalidated me" heuristic;
+    /// 0 (never stamped) is [`crate::Conflict`]'s "unknown" sentinel.
+    committer: AtomicU64,
 }
 
 impl Tl2Global {
@@ -53,6 +60,7 @@ impl Tl2Global {
         Tl2Global {
             timestamp: AtomicU64::new(0),
             orecs: OrecTable::new(orec_count),
+            committer: AtomicU64::new(0),
         }
     }
 
@@ -90,6 +98,13 @@ pub struct Tl2Tx<'a> {
     writes: WriteSet,
     /// Orecs locked during commit, with their pre-lock words for rollback.
     locked: Vec<(usize, OrecWord)>,
+    /// Flight-recorder phase marks; inert (its enabled check is the
+    /// materialised `level >= Spans` guard) unless
+    /// [`Tl2Tx::enable_spans`] installed a live recorder.
+    phases: PhaseRecorder,
+    /// Stamp/read the global committer word for abort attribution.
+    /// Only true at `TelemetryLevel::Spans`.
+    record_committer: bool,
 }
 
 impl<'a> Tl2Tx<'a> {
@@ -110,7 +125,21 @@ impl<'a> Tl2Tx<'a> {
             compares: Vec::new(),
             writes: WriteSet::default(),
             locked: Vec::new(),
+            phases: PhaseRecorder::disabled(),
+            record_committer: false,
         }
+    }
+
+    /// Turn the flight recorder on for this context: install a live
+    /// phase recorder and enable committer stamping/attribution.
+    pub(crate) fn enable_spans(&mut self, recorder: PhaseRecorder) {
+        self.phases = recorder;
+        self.record_committer = recorder.is_enabled();
+    }
+
+    /// Current phase marks (read back by the span recorder).
+    pub(crate) fn phases(&self) -> PhaseRecorder {
+        self.phases
     }
 
     /// Begin / re-begin: clear metadata, snapshot the clock (Algorithm 7
@@ -120,6 +149,7 @@ impl<'a> Tl2Tx<'a> {
         self.reads.clear();
         self.compares.clear();
         self.writes.clear();
+        self.phases.reset();
         sched::point(sched::PointKind::Tl2Begin);
         self.start_version = self.global.now();
     }
@@ -130,18 +160,32 @@ impl<'a> Tl2Tx<'a> {
     }
 
     /// Spin until orec `oi` is unlocked, up to the configured patience
-    /// (the §4.2 starvation-avoidance timeout).
+    /// (the §4.2 starvation-avoidance timeout). A timeout is attributed
+    /// to the orec and to the lock holder we last saw on it.
     fn wait_unlocked(&self, oi: usize) -> Result<OrecWord, Abort> {
         let mut wait = SpinWait::new();
+        let mut holder = 0;
         for _ in 0..self.lock_wait_spins {
             let o = self.global.orecs.load(oi);
             if !o.locked_by_other(self.owner) {
                 return Ok(o);
             }
+            holder = o.owner();
             sched::spin();
             wait.spin();
         }
-        Err(Abort::timeout())
+        Err(Abort::timeout().at_orec(oi).by(holder))
+    }
+
+    /// A validation abort attributed to orec `oi` plus, when the flight
+    /// recorder is on, the most-recent-committer heuristic (see
+    /// [`Tl2Global::committer`]).
+    fn validation_at(&self, oi: usize) -> Abort {
+        let mut abort = Abort::validation().at_orec(oi);
+        if self.record_committer {
+            abort = abort.by(self.global.committer.load(Ordering::Relaxed));
+        }
+        abort
     }
 
     /// Read-after-write resolution (same rules as Algorithm 6's `RAW`):
@@ -176,13 +220,13 @@ impl<'a> Tl2Tx<'a> {
                 l1.owner() != self.owner,
                 "read while holding own commit locks"
             );
-            return Err(Abort::locked());
+            return Err(Abort::locked().at_addr(addr).at_orec(oi).by(l1.owner()));
         }
         let val = self.heap.tm_load(addr);
         sched::point(sched::PointKind::Tl2ReadWindow);
         let l2 = self.global.orecs.load(oi);
         if l1 != l2 || l1.version() > self.start_version {
-            return Err(Abort::validation());
+            return Err(self.validation_at(oi).at_addr(addr));
         }
         self.reads.push(oi);
         Ok(val)
@@ -219,10 +263,10 @@ impl<'a> Tl2Tx<'a> {
         let oi = self.orec_index(addr);
         loop {
             sched::point(sched::PointKind::Tl2Read);
-            let l1 = self.wait_unlocked(oi)?;
+            let l1 = self.wait_unlocked(oi).map_err(|e| e.at_addr(addr))?;
             if l1.is_locked() {
                 // locked by self — cannot happen outside commit
-                return Err(Abort::locked());
+                return Err(Abort::locked().at_addr(addr).at_orec(oi));
             }
             let val = self.heap.tm_load(addr);
             sched::point(sched::PointKind::Tl2ReadWindow);
@@ -280,13 +324,13 @@ impl<'a> Tl2Tx<'a> {
             sched::point(sched::PointKind::Tl2Read);
             let l1 = self.global.orecs.load(oi);
             if l1.locked_by_other(self.owner) {
-                return Err(Abort::locked());
+                return Err(Abort::locked().at_addr(addr).at_orec(oi).by(l1.owner()));
             }
             let val = self.heap.tm_load(addr);
             sched::point(sched::PointKind::Tl2ReadWindow);
             let l2 = self.global.orecs.load(oi);
             if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
-                return Err(Abort::validation());
+                return Err(self.validation_at(oi).at_addr(addr));
             }
             let result = op.eval(val, operand);
             self.compares.push(ReadEntry::Val {
@@ -350,13 +394,13 @@ impl<'a> Tl2Tx<'a> {
         sched::point(sched::PointKind::Tl2Read);
         let l1 = self.global.orecs.load(oi);
         if l1.locked_by_other(self.owner) {
-            return Err(Abort::locked());
+            return Err(Abort::locked().at_addr(addr).at_orec(oi).by(l1.owner()));
         }
         let val = self.heap.tm_load(addr);
         sched::point(sched::PointKind::Tl2ReadWindow);
         let l2 = self.global.orecs.load(oi);
         if l1 != l2 || (!l1.is_locked() && l1.version() > self.start_version) {
-            return Err(Abort::validation());
+            return Err(self.validation_at(oi).at_addr(addr));
         }
         Ok(val)
     }
@@ -372,7 +416,7 @@ impl<'a> Tl2Tx<'a> {
                 let oi = self.orec_index(addr);
                 let mut o = self.global.orecs.load(oi);
                 if o.locked_by_other(self.owner) {
-                    o = self.wait_unlocked(oi)?;
+                    o = self.wait_unlocked(oi).map_err(|err| err.at_addr(addr))?;
                 }
                 if o.is_locked() || o.version() > self.start_version {
                     // Locked by self (commit-time orec aliasing) or newer
@@ -381,7 +425,7 @@ impl<'a> Tl2Tx<'a> {
                 }
             }
             if changed && !e.holds(self.heap) {
-                return Err(Abort::validation());
+                return Err(self.validation_at(self.orec_index(a0)).at_addr(a0));
             }
         }
         Ok(())
@@ -394,7 +438,9 @@ impl<'a> Tl2Tx<'a> {
         for &oi in &self.reads {
             let o = self.global.orecs.load(oi);
             if o.locked_by_other(self.owner) {
-                return Err(Abort::locked());
+                // Only the orec is known here: Algorithm 7 line 48 keeps
+                // orec indices, not addresses, in the read-set.
+                return Err(Abort::locked().at_orec(oi).by(o.owner()));
             }
             let version = if o.is_locked() {
                 // Locked by us at commit: consult the pre-lock word.
@@ -407,7 +453,7 @@ impl<'a> Tl2Tx<'a> {
                 o.version()
             };
             if version > self.start_version {
-                return Err(Abort::validation());
+                return Err(self.validation_at(oi));
             }
         }
         Ok(())
@@ -426,11 +472,13 @@ impl<'a> Tl2Tx<'a> {
         for oi in targets {
             let mut acquired = false;
             let mut wait = SpinWait::new();
+            let mut holder = 0;
             sched::point(sched::PointKind::Tl2LockCas);
             for _ in 0..self.lock_wait_spins {
                 let o = self.global.orecs.load(oi);
                 if o.is_locked() {
                     debug_assert!(o.owner() != self.owner);
+                    holder = o.owner();
                     sched::spin();
                     wait.spin();
                     continue;
@@ -443,7 +491,7 @@ impl<'a> Tl2Tx<'a> {
             }
             if !acquired {
                 self.release_locks_rollback();
-                return Err(Abort::lock_acquire());
+                return Err(Abort::lock_acquire().at_orec(oi).by(holder));
             }
         }
         Ok(())
@@ -471,12 +519,14 @@ impl<'a> Tl2Tx<'a> {
         if self.writes.is_empty() {
             return Ok(());
         }
+        self.phases.mark_lock();
         self.acquire_write_locks()?;
 
         // CAS-based timestamp advance with compare-set revalidation
         // (lines 68–72). The CAS — rather than fetch-and-add — guarantees
         // no other writer committed between the semantic validation and
         // our serialisation point.
+        self.phases.mark_validate();
         let time = loop {
             sched::point(sched::PointKind::Tl2CommitCas);
             let time = self.global.now();
@@ -502,12 +552,18 @@ impl<'a> Tl2Tx<'a> {
         // Locks held, clock advanced: from here through the lock release
         // the write-back is one atomic step of the virtual schedule.
         sched::point(sched::PointKind::Tl2Writeback);
+        self.phases.mark_writeback();
         for (addr, e) in self.writes.iter() {
             let v = match e.kind {
                 WriteKind::Store => e.value,
                 WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
             };
             self.heap.tm_store(addr, v);
+        }
+        if self.record_committer {
+            // Still under our commit locks: a reader whose validation
+            // fails against `write_version` also observes this token.
+            self.global.committer.store(self.owner, Ordering::Relaxed);
         }
         self.release_locks_committed(write_version);
         Ok(())
@@ -527,6 +583,11 @@ impl<'a> Tl2Tx<'a> {
     /// Diagnostics: read-set size.
     pub(crate) fn read_set_len(&self) -> usize {
         self.reads.len()
+    }
+
+    /// Number of write-set entries (flight-recorder spans).
+    pub(crate) fn write_set_len(&self) -> usize {
+        self.writes.len()
     }
 
     /// Diagnostics: current start version (observes snapshot extension).
@@ -726,6 +787,72 @@ mod tests {
         let ob = global.orecs.load(global.orecs.index_of(b.index()));
         assert_eq!(oa.version(), 1);
         assert_eq!(ob.version(), 2);
+    }
+
+    #[test]
+    fn stale_read_attributes_address_and_orec() {
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        let mut ops = OpCounts::default();
+        let mut t1 = tx(&heap, &global);
+        commit_write(&heap, &global, a, 5);
+        let err = t1.read(a, &mut ops).unwrap_err();
+        assert_eq!(err, Abort::validation());
+        assert_eq!(err.conflict().addr(), Some(a));
+        assert_eq!(
+            err.conflict().orec(),
+            Some(global.orecs.index_of(a.index()) as u32)
+        );
+        assert_eq!(
+            err.conflict().by(),
+            None,
+            "committer heuristic is Spans-only"
+        );
+    }
+
+    #[test]
+    fn validation_abort_attributes_committer_under_spans() {
+        use crate::telemetry::PhaseRecorder;
+        let (heap, global) = setup();
+        let a = heap.alloc(1);
+        let out = heap.alloc(1);
+        let mut ops = OpCounts::default();
+        let mut t1 = Tl2Tx::new(&heap, &global, 64, true);
+        t1.enable_spans(PhaseRecorder::enabled(std::time::Instant::now()));
+        t1.begin();
+        let _ = t1.read(a, &mut ops).unwrap();
+        // Concurrent commit with the recorder on stamps the committer.
+        let mut t2 = Tl2Tx::new(&heap, &global, 64, true);
+        t2.enable_spans(PhaseRecorder::enabled(std::time::Instant::now()));
+        t2.begin();
+        t2.write(a, 3);
+        t2.commit().unwrap();
+        t1.write(out, 1);
+        let err = t1.commit().unwrap_err();
+        assert_eq!(err, Abort::validation());
+        assert_eq!(
+            err.conflict().orec(),
+            Some(global.orecs.index_of(a.index()) as u32)
+        );
+        assert_eq!(err.conflict().by(), Some(thread_token()));
+    }
+
+    #[test]
+    fn timeout_attributes_lock_holder() {
+        let (heap, global) = setup();
+        let x = heap.alloc(1);
+        let oi = global.orecs.index_of(x.index());
+        let pre = global.orecs.load(oi);
+        assert!(global.orecs.try_lock(oi, pre, 999)); // stuck foreign lock
+        let mut ops = OpCounts::default();
+        let mut t1 = Tl2Tx::new(&heap, &global, 16, true);
+        t1.begin();
+        let err = t1.cmp(x, CmpOp::Gt, 0, &mut ops).unwrap_err();
+        assert_eq!(err, Abort::timeout());
+        assert_eq!(err.conflict().addr(), Some(x));
+        assert_eq!(err.conflict().orec(), Some(oi as u32));
+        assert_eq!(err.conflict().by(), Some(999));
+        global.orecs.store(oi, pre);
     }
 
     #[test]

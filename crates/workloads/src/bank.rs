@@ -12,9 +12,12 @@
 //!
 //! Invariant: total money is conserved.
 
-use crate::driver::{run_fixed_work, run_for_duration, run_for_duration_sampled, RunResult};
+use crate::driver::{
+    run_fixed_work, run_for_duration, run_for_duration_observed, run_for_duration_sampled,
+    RunResult,
+};
 use semtm_core::util::SplitMix64;
-use semtm_core::{Abort, SamplePoint, Stm, TArray, Tx};
+use semtm_core::{Abort, Addr, SamplePoint, Stm, TArray, Tx};
 use std::time::Duration;
 
 /// Bank configuration.
@@ -32,6 +35,12 @@ pub struct BankConfig {
     /// random account with a plain read (produces the small residual
     /// read/promote counts visible in Table 3's semantic Bank column).
     pub audit_per_mille: u32,
+    /// Contention skew: when nonzero, half of all transfer endpoints are
+    /// drawn from the first `skew_accounts` accounts instead of uniformly,
+    /// concentrating conflicts on a known-hot set (used to exercise the
+    /// flight recorder's hot-address sketch). `0` keeps the paper's
+    /// uniform draw.
+    pub skew_accounts: usize,
 }
 
 impl Default for BankConfig {
@@ -42,6 +51,7 @@ impl Default for BankConfig {
             transfers_per_tx: 10,
             max_amount: 100,
             audit_per_mille: 50,
+            skew_accounts: 0,
         }
     }
 }
@@ -74,9 +84,17 @@ impl Bank {
         // Pre-draw the plan so the body is deterministic across retries.
         let mut plan = [(0usize, 0usize, 0i64); 16];
         let count = self.config.transfers_per_tx.min(plan.len());
+        let hot = self.config.skew_accounts.min(n);
+        let draw = |rng: &mut SplitMix64| {
+            if hot > 0 && rng.chance(50) {
+                rng.index(hot)
+            } else {
+                rng.index(n)
+            }
+        };
         for slot in plan.iter_mut().take(count) {
-            let src = rng.index(n);
-            let mut dst = rng.index(n);
+            let src = draw(rng);
+            let mut dst = draw(rng);
             if dst == src {
                 dst = (dst + 1) % n;
             }
@@ -118,6 +136,12 @@ impl Bank {
         tx.dec(self.accounts.addr(src), amount)?;
         tx.inc(self.accounts.addr(dst), amount)?;
         Ok(true)
+    }
+
+    /// Heap address of account `i` — lets telemetry consumers map the
+    /// flight recorder's attributed conflict addresses back to accounts.
+    pub fn account_addr(&self, i: usize) -> Addr {
+        self.accounts.addr(i)
     }
 
     /// Non-transactional sum of all balances (quiescent verification).
@@ -199,6 +223,34 @@ pub fn run_sampled(
     out
 }
 
+/// Like [`run`], but hands every sample to `observe` while the run is in
+/// flight (the live-dashboard hook; the callback may also inspect
+/// `stm.telemetry()` for hot addresses and spans).
+pub fn run_observed(
+    stm: &Stm,
+    config: BankConfig,
+    threads: usize,
+    duration: Duration,
+    sample_every: Duration,
+    seed: u64,
+    observe: impl FnMut(Duration, &SamplePoint),
+) -> (RunResult, Vec<SamplePoint>) {
+    let bank = Bank::new(stm, config);
+    let out = run_for_duration_observed(
+        stm,
+        threads,
+        duration,
+        sample_every,
+        seed,
+        |_tid, rng| {
+            bank.transfer_tx(stm, rng);
+        },
+        observe,
+    );
+    bank.verify(stm).expect("bank invariant violated");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +307,44 @@ mod tests {
             );
             assert!(r.total_ops > 0, "{alg}");
         }
+    }
+
+    #[test]
+    fn skewed_run_ranks_hot_accounts_first_in_hot_addresses() {
+        use semtm_core::TelemetryLevel;
+        // Concentrate half of all transfer endpoints on 4 of 64 accounts
+        // and let 4 threads fight over them; the flight recorder's
+        // hot-address sketch must rank the skew targets at the top.
+        let skew = 4usize;
+        let cfg = BankConfig {
+            accounts: 64,
+            skew_accounts: skew,
+            ..BankConfig::default()
+        };
+        let s = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(1 << 12)
+                .telemetry(TelemetryLevel::Spans),
+        );
+        let bank = Bank::new(&s, cfg);
+        let hot_addrs: Vec<_> = (0..skew).map(|i| bank.account_addr(i)).collect();
+        let r = run_for_duration(&s, 4, Duration::from_millis(120), 9, |_tid, rng| {
+            bank.transfer_tx(&s, rng);
+        });
+        bank.verify(&s).expect("bank invariant violated");
+        assert!(r.stats.conflict_aborts() > 0, "skewed run must conflict");
+        let ranked = s.telemetry().hot_addresses();
+        assert!(
+            !ranked.is_empty(),
+            "attributed conflicts must fill the sketch"
+        );
+        assert!(
+            hot_addrs.contains(&ranked[0].0),
+            "top-ranked address {:?} should be one of the skew targets {:?}; ranking: {:?}",
+            ranked[0].0,
+            hot_addrs,
+            &ranked[..ranked.len().min(8)],
+        );
     }
 
     #[test]

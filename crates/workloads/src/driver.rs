@@ -156,6 +156,69 @@ pub fn run_for_duration_sampled(
     (result, series)
 }
 
+/// Like [`run_for_duration_sampled`], but each sample is additionally
+/// handed to `observe` *while the run is in flight* — the hook behind
+/// live dashboards, which can also read `stm`'s telemetry (hot
+/// addresses, span counts) from inside the callback. The observer runs
+/// on the timer thread, so a slow observer stretches the tick, not the
+/// workers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_for_duration_observed(
+    stm: &Stm,
+    threads: usize,
+    duration: Duration,
+    sample_every: Duration,
+    seed: u64,
+    work: impl Fn(usize, &mut SplitMix64) + Sync,
+    mut observe: impl FnMut(Duration, &SamplePoint),
+) -> (RunResult, Vec<SamplePoint>) {
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let before = stm.stats();
+    let sample_every = sample_every.max(Duration::from_millis(1));
+    let start = Instant::now();
+    let mut series = Vec::new();
+    let mut sampler = Sampler::new(before);
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let stop = &stop;
+            let ops = &ops;
+            let work = &work;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    work(tid, &mut rng);
+                    local += 1;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        while start.elapsed() < duration {
+            let remaining = duration.saturating_sub(start.elapsed());
+            std::thread::sleep(sample_every.min(remaining));
+            let point = sampler.sample(stm.stats());
+            observe(start.elapsed(), &point);
+            series.push(point);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+    let tail = sampler.sample(stm.stats());
+    if tail.commits > 0 || series.is_empty() {
+        observe(elapsed, &tail);
+        series.push(tail);
+    }
+    let result = RunResult {
+        threads,
+        elapsed,
+        total_ops: ops.load(Ordering::Relaxed),
+        stats: stm.stats().since(&before),
+        setup_commits: 0,
+    };
+    (result, series)
+}
+
 /// Split `total_ops` operations across `threads` threads and time the
 /// whole batch (STAMP-style execution-time measurement). Operation `i` of
 /// the global index space is executed by thread `i % threads`.
@@ -234,6 +297,32 @@ mod tests {
         for w in series.windows(2) {
             assert!(w[0].t_secs < w[1].t_secs, "timestamps strictly increase");
         }
+    }
+
+    #[test]
+    fn observed_run_invokes_callback_per_sample() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(1 << 10));
+        let a = stm.alloc_cell(0i64);
+        let mut ticks = 0usize;
+        let (r, series) = run_for_duration_observed(
+            &stm,
+            2,
+            Duration::from_millis(60),
+            Duration::from_millis(10),
+            7,
+            |_tid, _rng| {
+                stm.atomic(|tx| tx.inc(a, 1));
+            },
+            |elapsed, point| {
+                assert!(elapsed > Duration::ZERO);
+                assert!(point.dt_secs > 0.0);
+                ticks += 1;
+            },
+        );
+        assert_eq!(ticks, series.len(), "one callback per sample");
+        assert!(ticks >= 3, "60ms / 10ms should tick several times");
+        let sum: u64 = series.iter().map(|p| p.commits).sum();
+        assert_eq!(sum, r.stats.commits);
     }
 
     #[test]

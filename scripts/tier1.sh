@@ -17,6 +17,12 @@ echo "==> schedule-exploration smoke (semtm-check)"
 # algorithms, a few seconds); raise it for soak runs outside this gate.
 SEMTM_CHECK_ITERS="${SEMTM_CHECK_ITERS:-1000}" cargo test -q -p semtm-check
 
+echo "==> trace-export smoke (figures -- trace)"
+# Tiny skewed-Bank sweep under the flight recorder; the harness
+# schema-validates its own Chrome trace JSON (one track and at least one
+# complete span per worker) and exits non-zero on any violation.
+cargo run --release -q -p semtm-bench --bin figures -- --smoke trace
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
