@@ -1,0 +1,64 @@
+//! Schema-validate the semlint SARIF export with the harness's JSON
+//! reader: the report must be well-formed JSON and carry the SARIF
+//! 2.1.0 run/driver/results structure GitHub code scanning consumes.
+
+use semtm_bench::jsonin::{parse, JValue};
+use semtm_ir::lint::{lint_function, RULES};
+use semtm_ir::parser::parse_function_spanned;
+use semtm_ir::sarif::sarif_report;
+
+fn field<'a>(v: &'a JValue, key: &str) -> &'a JValue {
+    v.get(key).unwrap_or_else(|| panic!("missing key {key}"))
+}
+
+#[test]
+fn sarif_export_is_valid_json_with_resolvable_rules() {
+    // Lint the seeded SL011 shape plus a clean builtin so the report
+    // mixes a populated and an empty file entry.
+    let seeded = "func f(1) {\nentry:\n  tminc r0, 1\n  ret\n}\n";
+    let (f1, m1) = parse_function_spanned(seeded).unwrap();
+    let (path, src) = semtm_ir::programs::sources()[0];
+    let (f2, m2) = parse_function_spanned(src).unwrap();
+    let files = vec![
+        ("seeded.ir".to_string(), lint_function(&f1, Some(&m1))),
+        (path.to_string(), lint_function(&f2, Some(&m2))),
+    ];
+    let report = sarif_report(&files);
+
+    let json = parse(&report).expect("well-formed JSON");
+    assert_eq!(field(&json, "version").as_str(), Some("2.1.0"));
+    let runs = field(&json, "runs").as_arr().expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let driver = field(field(&runs[0], "tool"), "driver");
+    assert_eq!(field(driver, "name").as_str(), Some("semlint"));
+    let rules = field(driver, "rules").as_arr().expect("rules array");
+    assert_eq!(rules.len(), RULES.len(), "full catalogue exported");
+
+    let results = field(&runs[0], "results").as_arr().expect("results array");
+    assert!(!results.is_empty(), "the seeded file produced results");
+    for r in results {
+        // Every result's ruleId resolves through its ruleIndex.
+        let id = field(r, "ruleId").as_str().expect("ruleId string");
+        let idx = field(r, "ruleIndex").as_num().expect("ruleIndex number") as usize;
+        assert_eq!(
+            field(&rules[idx], "id").as_str(),
+            Some(id),
+            "ruleIndex points at the rule"
+        );
+        let level = field(r, "level").as_str().expect("level string");
+        assert!(matches!(level, "error" | "warning" | "note"), "{level}");
+        let locs = field(r, "locations").as_arr().expect("locations");
+        let phys = field(&locs[0], "physicalLocation");
+        let uri = field(field(phys, "artifactLocation"), "uri")
+            .as_str()
+            .expect("uri");
+        assert!(files.iter().any(|(f, _)| f == uri), "{uri}");
+        let region = field(phys, "region");
+        assert!(field(region, "startLine").as_num().unwrap() >= 1.0);
+    }
+    let sl011 = results
+        .iter()
+        .find(|r| field(r, "ruleId").as_str() == Some("SL011"))
+        .expect("seeded SL011 present");
+    assert_eq!(field(sl011, "level").as_str(), Some("error"));
+}

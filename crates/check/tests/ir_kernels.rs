@@ -1,0 +1,127 @@
+//! Schedule exploration over the checked-in IR kernels: the interpreter
+//! runs a kernel inside the vthread harness while a rival transaction
+//! races it, and every bounded schedule must land in a serializable
+//! outcome — for the original kernel AND for the `tm_mark`/`tm_widen`
+//! output, whose promoted `_ITM_S1R`/`_ITM_S2R` barriers defer the check
+//! to commit time and must revalidate correctly under preemption.
+
+use semtm_check::fuzz::check_stm;
+use semtm_check::schedule::{explore_exhaustive, ExploreOptions};
+use semtm_check::vthread::run_threads;
+use semtm_core::{Algorithm, Stm};
+use semtm_ir::{programs, run_tm_passes, Function, Interp};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+const STEP_CAP: usize = 20_000;
+
+fn opts() -> ExploreOptions {
+    ExploreOptions {
+        max_preemptions: 2,
+        max_executions: 2_000,
+        step_cap: STEP_CAP,
+    }
+}
+
+/// The kernel as checked in, and after the full pass pipeline (which
+/// promotes its guard to a semantic builtin — `tm_widen` proves the
+/// range-shifted compare in `range_gate`, `tm_mark` the cross-block
+/// compare in `cross_block_guard`).
+fn variants(f: Function) -> [(&'static str, Function); 2] {
+    let mut passed = f.clone();
+    run_tm_passes(&mut passed);
+    [("original", f), ("passed", passed)]
+}
+
+/// `range_gate(tokens, grants)` admits when `*tokens > 50` (written as
+/// the widened relation `*tokens <= 100 && *tokens + 27 > 77`) and then
+/// bumps `grants`. A rival transaction drains the bucket from 60 to 40
+/// across the threshold, so the gate's decision is only consistent if
+/// its (possibly TM_CMP-promoted) guard revalidates: every schedule
+/// must serialize as gate-then-drain (grant) or drain-then-gate (no
+/// grant), never a zombie mix.
+#[test]
+fn range_gate_serializes_against_a_bucket_drain_on_every_schedule() {
+    for alg in Algorithm::ALL {
+        for (name, f) in variants(programs::range_gate()) {
+            let explored = explore_exhaustive(opts(), |driver| {
+                let stm = check_stm(alg);
+                let tokens = stm.alloc_cell(60i64);
+                let grants = stm.alloc_cell(0i64);
+                let ret = AtomicI64::new(-1);
+                let shared = (&stm, &ret);
+                type Shared<'a> = (&'a Stm, &'a AtomicI64);
+                let gate = |_tid: usize, (stm, ret): &Shared<'_>| {
+                    let r = Interp::new(stm)
+                        .execute(&f, &[tokens.index() as i64, grants.index() as i64])
+                        .expect("kernel executes")
+                        .expect("kernel returns a value");
+                    ret.store(r, Ordering::Relaxed);
+                };
+                let drain = |_tid: usize, (stm, _): &Shared<'_>| {
+                    stm.atomic(|tx| tx.inc(tokens, -20));
+                };
+                let out = run_threads(&shared, &[&gate, &drain], driver, STEP_CAP);
+                if out.capped {
+                    return Err("step cap exceeded".into());
+                }
+                let (t, g, r) = (
+                    stm.read_now(tokens),
+                    stm.read_now(grants),
+                    ret.load(Ordering::Relaxed),
+                );
+                if t != 40 {
+                    return Err(format!("{alg}/{name}: tokens = {t}, drain lost"));
+                }
+                match (r, g) {
+                    (1, 1) | (0, 0) => Ok(()),
+                    _ => Err(format!(
+                        "{alg}/{name}: non-serializable outcome ret={r} grants={g}"
+                    )),
+                }
+            });
+            assert!(explored > 10, "{alg}/{name}: only {explored} schedules");
+        }
+    }
+}
+
+/// Two racing `cross_block_guard(lock, count)` calls: mutual exclusion
+/// must hold on every schedule — exactly one caller acquires, the
+/// counter is bumped exactly once — whether the guard is the original
+/// load+cmp pair or the promoted `_ITM_S1R` value-compare.
+#[test]
+fn cross_block_guard_is_mutually_exclusive_on_every_schedule() {
+    for alg in Algorithm::ALL {
+        for (name, f) in variants(programs::cross_block_guard()) {
+            let explored = explore_exhaustive(opts(), |driver| {
+                let stm = check_stm(alg);
+                let lock = stm.alloc_cell(0i64);
+                let count = stm.alloc_cell(0i64);
+                let rets = [AtomicI64::new(-1), AtomicI64::new(-1)];
+                let shared = (&stm, &rets);
+                type Shared<'a> = (&'a Stm, &'a [AtomicI64; 2]);
+                let body = |tid: usize, (stm, rets): &Shared<'_>| {
+                    let r = Interp::new(stm)
+                        .execute(&f, &[lock.index() as i64, count.index() as i64])
+                        .expect("kernel executes")
+                        .expect("kernel returns a value");
+                    rets[tid].store(r, Ordering::Relaxed);
+                };
+                let out = run_threads(&shared, &[&body, &body], driver, STEP_CAP);
+                if out.capped {
+                    return Err("step cap exceeded".into());
+                }
+                let (l, c) = (stm.read_now(lock), stm.read_now(count));
+                let acquired = rets[0].load(Ordering::Relaxed) + rets[1].load(Ordering::Relaxed);
+                if l == 1 && c == 1 && acquired == 1 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{alg}/{name}: mutual exclusion broken: lock={l} \
+                         count={c} acquisitions={acquired}"
+                    ))
+                }
+            });
+            assert!(explored > 10, "{alg}/{name}: only {explored} schedules");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The interval (value-range) lattice over `i64`.
+//!
+//! Bounds are plain `i64`s: every runtime value is an `i64`, so
+//! `i64::MIN`/`i64::MAX` double as "unbounded" without a separate ±∞
+//! representation. The empty interval (`lo > hi`) is the lattice
+//! bottom; `[MIN, MAX]` is top. Arithmetic is computed in `i128` and
+//! collapses to top whenever the mathematical result could leave the
+//! `i64` range — the IR's operators wrap, so outside that window the
+//! mathematical interval no longer describes the machine result.
+//!
+//! The lattice has (very long) infinite-looking ascending chains — a
+//! loop counter climbs one join at a time — so the fixpoint in
+//! [`super::AbsInt`] pairs `join` with [`Interval::widen`] after a
+//! fixed delay, which jumps unstable bounds straight to ±∞.
+
+use semtm_core::CmpOp;
+
+/// A closed interval of `i64` values; `lo > hi` means empty.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: i64,
+    /// Largest possible value.
+    pub hi: i64,
+}
+
+const MIN: i128 = i64::MIN as i128;
+const MAX: i128 = i64::MAX as i128;
+
+fn clamp(lo: i128, hi: i128) -> Interval {
+    // A mathematical bound outside i64 means the machine value may have
+    // wrapped; the whole interval collapses to top on that side only if
+    // wrapping actually reaches it — conservatively, collapse entirely.
+    if lo < MIN || hi > MAX {
+        Interval::TOP
+    } else {
+        Interval {
+            lo: lo as i64,
+            hi: hi as i64,
+        }
+    }
+}
+
+// `add`/`sub`/`mul` here are lattice transfer functions (empty maps to
+// empty, wrap maps to TOP), not ring operations — keeping them inherent
+// avoids implying the `std::ops` algebraic laws.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The full `i64` range (no information).
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+    /// The empty interval (unreachable value).
+    pub const EMPTY: Interval = Interval {
+        lo: i64::MAX,
+        hi: i64::MIN,
+    };
+
+    /// The singleton `[v, v]`.
+    pub fn constant(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Is this the empty interval?
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// The single value, if the interval is a singleton.
+    pub fn singleton(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Least upper bound (union hull).
+    pub fn join(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound (intersection).
+    pub fn meet(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Standard interval widening: any bound still moving after the
+    /// widening delay jumps straight to ±∞, capping the chain length at
+    /// two steps per bound.
+    pub fn widen(self, next: Interval) -> Interval {
+        if self.is_empty() {
+            return next;
+        }
+        if next.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    /// Mathematical sum; top if any sum can leave `i64` (the machine
+    /// add would wrap there).
+    pub fn add(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        clamp(
+            self.lo as i128 + other.lo as i128,
+            self.hi as i128 + other.hi as i128,
+        )
+    }
+
+    /// Mathematical difference; top on possible wrap.
+    pub fn sub(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        clamp(
+            self.lo as i128 - other.hi as i128,
+            self.hi as i128 - other.lo as i128,
+        )
+    }
+
+    /// Mathematical product; top on possible wrap.
+    pub fn mul(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let products = [
+            self.lo as i128 * other.lo as i128,
+            self.lo as i128 * other.hi as i128,
+            self.hi as i128 * other.lo as i128,
+            self.hi as i128 * other.hi as i128,
+        ];
+        clamp(
+            *products.iter().min().unwrap(),
+            *products.iter().max().unwrap(),
+        )
+    }
+
+    /// Does the machine addition `self + other` provably not wrap?
+    /// True exactly when the mathematical sum interval stays within
+    /// `i64` — the precondition for treating `+` as mathematical `+`
+    /// in the range-widening rewrite.
+    pub fn add_cannot_wrap(self, other: Interval) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo as i128 + other.lo as i128 >= MIN
+            && self.hi as i128 + other.hi as i128 <= MAX
+    }
+
+    /// Does the machine subtraction `self - other` provably not wrap?
+    pub fn sub_cannot_wrap(self, other: Interval) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo as i128 - other.hi as i128 >= MIN
+            && self.hi as i128 - other.lo as i128 <= MAX
+    }
+
+    /// Refine `self` under the assumption `self OP k` (comparison
+    /// against a known constant). The result is empty when the
+    /// assumption is unsatisfiable.
+    pub fn refine(self, op: CmpOp, k: i64) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        match op {
+            CmpOp::Eq => self.meet(Interval::constant(k)),
+            CmpOp::Neq => {
+                // Only shaves the interval when k is an endpoint.
+                if self.singleton() == Some(k) {
+                    Interval::EMPTY
+                } else if self.lo == k {
+                    Interval {
+                        lo: k.saturating_add(1),
+                        hi: self.hi,
+                    }
+                } else if self.hi == k {
+                    Interval {
+                        lo: self.lo,
+                        hi: k.saturating_sub(1),
+                    }
+                } else {
+                    self
+                }
+            }
+            CmpOp::Gt => {
+                if k == i64::MAX {
+                    Interval::EMPTY
+                } else {
+                    self.meet(Interval {
+                        lo: k + 1,
+                        hi: i64::MAX,
+                    })
+                }
+            }
+            CmpOp::Gte => self.meet(Interval {
+                lo: k,
+                hi: i64::MAX,
+            }),
+            CmpOp::Lt => {
+                if k == i64::MIN {
+                    Interval::EMPTY
+                } else {
+                    self.meet(Interval {
+                        lo: i64::MIN,
+                        hi: k - 1,
+                    })
+                }
+            }
+            CmpOp::Lte => self.meet(Interval {
+                lo: i64::MIN,
+                hi: k,
+            }),
+        }
+    }
+
+    /// Decide `a OP b` when the intervals allow only one outcome:
+    /// `Some(true)` / `Some(false)` when every pair of values agrees,
+    /// `None` when both outcomes are possible.
+    pub fn cmp_always(op: CmpOp, a: Interval, b: Interval) -> Option<bool> {
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        let always = |op: CmpOp, a: Interval, b: Interval| match op {
+            CmpOp::Eq => a.singleton().is_some() && a.singleton() == b.singleton(),
+            CmpOp::Neq => a.hi < b.lo || b.hi < a.lo,
+            CmpOp::Gt => a.lo > b.hi,
+            CmpOp::Gte => a.lo >= b.hi,
+            CmpOp::Lt => a.hi < b.lo,
+            CmpOp::Lte => a.hi <= b.lo,
+        };
+        if always(op, a, b) {
+            Some(true)
+        } else if always(op.inverse(), a, b) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_meet_widen_basics() {
+        let a = Interval { lo: 0, hi: 10 };
+        let b = Interval { lo: 5, hi: 20 };
+        assert_eq!(a.join(b), Interval { lo: 0, hi: 20 });
+        assert_eq!(a.meet(b), Interval { lo: 5, hi: 10 });
+        assert!(Interval::EMPTY.join(a) == a && a.meet(Interval::EMPTY).is_empty());
+        // Widening: the moving bound jumps to the extreme, the stable
+        // bound stays.
+        let w = a.widen(Interval { lo: 0, hi: 11 });
+        assert_eq!(
+            w,
+            Interval {
+                lo: 0,
+                hi: i64::MAX
+            }
+        );
+        assert_eq!(a.widen(a), a);
+    }
+
+    #[test]
+    fn arithmetic_collapses_on_possible_wrap() {
+        let big = Interval {
+            lo: i64::MAX - 5,
+            hi: i64::MAX,
+        };
+        assert_eq!(big.add(Interval::constant(10)), Interval::TOP);
+        assert!(!big.add_cannot_wrap(Interval::constant(10)));
+        let small = Interval { lo: 0, hi: 100 };
+        assert_eq!(
+            small.add(Interval::constant(27)),
+            Interval { lo: 27, hi: 127 }
+        );
+        assert!(small.add_cannot_wrap(Interval::constant(27)));
+        // Unbounded below + positive constant still cannot overflow.
+        let half = Interval {
+            lo: i64::MIN,
+            hi: 100,
+        };
+        assert!(half.add_cannot_wrap(Interval::constant(27)));
+        assert_eq!(
+            half.add(Interval::constant(27)),
+            Interval {
+                lo: i64::MIN + 27,
+                hi: 127
+            }
+        );
+    }
+
+    #[test]
+    fn refinement_matches_relations() {
+        let x = Interval { lo: 0, hi: 100 };
+        assert_eq!(x.refine(CmpOp::Gt, 50), Interval { lo: 51, hi: 100 });
+        assert_eq!(x.refine(CmpOp::Lte, 10), Interval { lo: 0, hi: 10 });
+        assert!(x.refine(CmpOp::Gt, 100).is_empty());
+        assert_eq!(x.refine(CmpOp::Eq, 7), Interval::constant(7));
+        assert_eq!(x.refine(CmpOp::Neq, 0), Interval { lo: 1, hi: 100 });
+        assert_eq!(Interval::TOP.refine(CmpOp::Gt, i64::MAX), Interval::EMPTY);
+    }
+
+    #[test]
+    fn cmp_always_decides_only_forced_outcomes() {
+        let small = Interval { lo: 0, hi: 10 };
+        let large = Interval { lo: 20, hi: 30 };
+        assert_eq!(Interval::cmp_always(CmpOp::Lt, small, large), Some(true));
+        assert_eq!(Interval::cmp_always(CmpOp::Gte, small, large), Some(false));
+        assert_eq!(Interval::cmp_always(CmpOp::Lt, small, small), None);
+        assert_eq!(
+            Interval::cmp_always(CmpOp::Eq, Interval::constant(4), Interval::constant(4)),
+            Some(true)
+        );
+        assert_eq!(
+            Interval::cmp_always(CmpOp::Neq, Interval::constant(4), Interval::constant(4)),
+            Some(false)
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Atomic-region identification.
+//!
+//! The conflict analysis and several lint rules need to talk about
+//! *regions* — the dynamic extent of one `tmbegin`..`tmend` pair — not
+//! just region *depth*. A region is keyed by the `TmBegin` that raises
+//! the depth from 0 (nested begins under the flattened-nesting model do
+//! not open a new transaction). Where two distinct begins' extents meet
+//! at a join point (both arms of a diamond open a region, say), the
+//! regions are merged with a union-find: they denote the same dynamic
+//! transaction at the join and must be analysed as one.
+
+use super::super::cfg::Cfg;
+use super::super::reaching::Pos;
+use crate::ir::{Function, Inst};
+
+/// Region membership and depth for every instruction of one function.
+pub struct Regions {
+    /// `depth[b][i]` = region depth before executing `(b, i)`;
+    /// unreachable blocks are depth 0.
+    depth: Vec<Vec<u32>>,
+    /// `region_of[b][i]` = dense region index, for instructions at
+    /// depth > 0.
+    region_of: Vec<Vec<Option<usize>>>,
+    /// Per region, the `TmBegin` positions that open it (more than one
+    /// only for merged regions).
+    begins: Vec<Vec<Pos>>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind { parent: Vec::new() }
+    }
+    fn make(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.max(rb)] = ra.min(rb);
+        true
+    }
+}
+
+impl Regions {
+    /// Compute regions for a (verified) function.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Regions {
+        let n = func.blocks.len();
+        let mut uf = UnionFind::new();
+        // One raw region id per depth-raising TmBegin position.
+        let mut begin_ids: std::collections::HashMap<Pos, usize> = std::collections::HashMap::new();
+        // Block-entry state: (depth, innermost-transaction raw id).
+        let mut entry: Vec<Option<(u32, Option<usize>)>> = vec![None; n];
+        entry[0] = Some((0, None));
+
+        // Propagate to a fixpoint; unions can only merge, so this
+        // terminates (each pass either changes nothing or shrinks the
+        // number of region classes / fills in an entry state).
+        loop {
+            let mut changed = false;
+            for b in cfg.rpo.clone() {
+                let Some((mut depth, mut region)) = entry[b] else {
+                    continue;
+                };
+                if let Some(r) = region {
+                    region = Some(uf.find(r));
+                }
+                for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+                    match inst {
+                        Inst::TmBegin => {
+                            if depth == 0 {
+                                let id = *begin_ids.entry((b, i)).or_insert_with(|| uf.make());
+                                region = Some(uf.find(id));
+                            }
+                            depth += 1;
+                        }
+                        Inst::TmEnd => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                region = None;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                for &s in &cfg.succs[b] {
+                    match entry[s] {
+                        None => {
+                            entry[s] = Some((depth, region));
+                            changed = true;
+                        }
+                        Some((_, other)) => {
+                            if let (Some(a), Some(bb)) = (region, other) {
+                                changed |= uf.union(a, bb);
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Dense re-index of the surviving region roots, ordered by
+        // their first begin position.
+        let mut root_begins: std::collections::BTreeMap<usize, Vec<Pos>> =
+            std::collections::BTreeMap::new();
+        for (&pos, &raw) in &begin_ids {
+            let root = uf.find(raw);
+            root_begins.entry(root).or_default().push(pos);
+        }
+        let mut roots: Vec<(Pos, usize)> = root_begins
+            .iter_mut()
+            .map(|(&root, begins)| {
+                begins.sort_unstable();
+                (begins[0], root)
+            })
+            .collect();
+        roots.sort_unstable();
+        let dense: std::collections::HashMap<usize, usize> = roots
+            .iter()
+            .enumerate()
+            .map(|(d, &(_, root))| (root, d))
+            .collect();
+        let begins: Vec<Vec<Pos>> = roots
+            .iter()
+            .map(|&(_, root)| root_begins[&root].clone())
+            .collect();
+
+        // Final sweep: per-instruction depth and dense region index.
+        let mut depth_of = vec![Vec::new(); n];
+        let mut region_of = vec![Vec::new(); n];
+        for b in 0..n {
+            let insts = &func.blocks[b].insts;
+            let (mut depth, mut region) = match entry[b] {
+                Some((d, r)) => (d, r.map(|r| dense[&uf.find(r)])),
+                None => (0, None),
+            };
+            let mut depths = Vec::with_capacity(insts.len());
+            let mut regs = Vec::with_capacity(insts.len());
+            for (i, inst) in insts.iter().enumerate() {
+                depths.push(depth);
+                regs.push(if depth > 0 { region } else { None });
+                match inst {
+                    Inst::TmBegin => {
+                        if depth == 0 {
+                            region = Some(dense[&uf.find(begin_ids[&(b, i)])]);
+                        }
+                        depth += 1;
+                    }
+                    Inst::TmEnd => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            region = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            depth_of[b] = depths;
+            region_of[b] = regs;
+        }
+        Regions {
+            depth: depth_of,
+            region_of,
+            begins,
+        }
+    }
+
+    /// Region depth before executing the instruction at `pos`.
+    pub fn depth(&self, pos: Pos) -> u32 {
+        self.depth[pos.0][pos.1]
+    }
+
+    /// Dense region index of the transaction `pos` executes inside, if
+    /// any. The `TmBegin` itself is *outside* (depth-before is 0); the
+    /// matching `TmEnd` is inside.
+    pub fn region(&self, pos: Pos) -> Option<usize> {
+        self.region_of[pos.0][pos.1]
+    }
+
+    /// Number of distinct atomic regions.
+    pub fn count(&self) -> usize {
+        self.begins.len()
+    }
+
+    /// The `TmBegin` positions opening region `r`.
+    pub fn begins(&self, r: usize) -> &[Pos] {
+        &self.begins[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Cfg;
+    use crate::parser::parse_function;
+
+    fn regions_for(src: &str) -> Regions {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::new(&f);
+        Regions::compute(&f, &cfg)
+    }
+
+    #[test]
+    fn sequential_regions_are_distinct() {
+        let r = regions_for(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  tmstore r0, 1
+  tmend
+  tmbegin
+  tmstore r0, 2
+  tmend
+  ret
+}
+",
+        );
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.region((0, 1)), Some(0));
+        assert_eq!(r.region((0, 4)), Some(1));
+        assert_eq!(r.region((0, 6)), None, "ret is outside both");
+        assert_eq!(r.depth((0, 1)), 1);
+    }
+
+    #[test]
+    fn diamond_opening_on_both_arms_merges() {
+        let r = regions_for(
+            r"
+func f(1) {
+entry:
+  condbr r0, a, b
+a:
+  tmbegin
+  br join
+b:
+  tmbegin
+  br join
+join:
+  tmstore r0, 1
+  tmend
+  ret
+}
+",
+        );
+        assert_eq!(r.count(), 1, "both begins denote the same transaction");
+        assert_eq!(r.region((3, 0)), Some(0));
+        assert_eq!(r.begins(0).len(), 2);
+    }
+}

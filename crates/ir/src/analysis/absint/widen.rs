@@ -1,0 +1,290 @@
+//! Range-widened `TM_CMP` promotion candidates.
+//!
+//! The syntactic matcher (`patterns::match_cmp`) promotes
+//! `cmp.OP (tmload a), k` — the compared register must *be* the load.
+//! This module widens the reach: `cmp.OP (tmload a) + c, k` is the same
+//! relation as `cmp.OP (tmload a), k - c` whenever the `+ c` provably
+//! cannot wrap, and the abstract interpreter's [`Sym::LoadPlus`]
+//! identity carries exactly that proof (it only survives arithmetic
+//! with a no-wrap certificate, through copies and across blocks). The
+//! rewrite itself lives in `passes::tm_widen`; this module only finds
+//! and justifies candidates, and reports the near-misses that lint rule
+//! `SL008` surfaces (provably promotable by the intervals, declined
+//! because the right-hand side is not a syntactic immediate).
+
+use super::super::cfg::Cfg;
+use super::super::patterns::PatternCtx;
+use super::super::reaching::{Pos, ReachingDefs};
+use super::regions::Regions;
+use super::{AbsInt, Interval, Sym};
+use crate::ir::{Function, Inst, Operand, Reg};
+use semtm_core::CmpOp;
+
+/// One widening opportunity found by the abstract interpreter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WidenCandidate {
+    /// `cmp.OP load+c, k` rewritable to `tmcmp.OP addr, k-c`.
+    Promote {
+        /// Position of the `Cmp` to rewrite.
+        pos: Pos,
+        /// The compare's destination register.
+        dst: Reg,
+        /// Relation with the load on the left (swapped if it was on
+        /// the right).
+        op: CmpOp,
+        /// Address operand of the originating load, still valid at
+        /// `pos` (its registers are protected on the whole path).
+        addr: Operand,
+        /// Position of the originating `TmLoad`.
+        load_at: Pos,
+        /// The no-wrap constant folded onto the loaded value.
+        c: i64,
+        /// The rewritten immediate `k - c`.
+        k_prime: i64,
+    },
+    /// Every proof obligation holds, but the compared-against side is a
+    /// register (whose interval is a provable singleton), not a
+    /// syntactic immediate — the rewriter only bakes in manifest
+    /// constants. Lint rule `SL008` reports this with the witness.
+    DeclinedSingleton {
+        /// Position of the `Cmp`.
+        pos: Pos,
+        /// Position of the originating `TmLoad`.
+        load_at: Pos,
+        /// The folded constant on the load side.
+        c: i64,
+        /// The interval of the right-hand register — a singleton, which
+        /// is exactly why the promotion is provable.
+        witness: Interval,
+    },
+}
+
+/// Scan every reachable `Cmp` of `func` for range-widening candidates.
+pub fn widen_candidates(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    absint: &AbsInt,
+    regions: &Regions,
+) -> Vec<WidenCandidate> {
+    let cx = PatternCtx::new(func, cfg, rd);
+    let mut out = Vec::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            let pos = (b, i);
+            let Inst::Cmp { op, dst, a, b: rb } = *inst else {
+                continue;
+            };
+            if !absint.state_reachable(pos) || regions.depth(pos) == 0 {
+                // Outside a transaction there is nothing to widen into.
+                continue;
+            }
+            // Exactly one side must carry a LoadPlus identity with a
+            // nonzero fold; c == 0 is the syntactic matcher's case.
+            let va = absint.operand(pos, a);
+            let vb = absint.operand(pos, rb);
+            let (load_side, other, other_val, op) = match (va.sym, vb.sym) {
+                // Two distinct loads: tmcmp2 territory, not handled.
+                (Sym::LoadPlus(p, c), Sym::LoadPlus(q, d)) if (p, c) != (q, d) => continue,
+                (Sym::LoadPlus(p, c), _) if c != 0 => ((p, c), rb, vb, op),
+                (_, Sym::LoadPlus(p, c)) if c != 0 => ((p, c), a, va, op.swap()),
+                _ => continue,
+            };
+            let (load_at, c) = load_side;
+            let Inst::TmLoad { addr, .. } = func.blocks[load_at.0].insts[load_at.1] else {
+                continue;
+            };
+            // The rewrite re-evaluates `addr` at the compare: the path
+            // from the load must leave the address registers, memory,
+            // and the region untouched.
+            let mut protect = Vec::new();
+            if let Some(r) = addr.reg() {
+                protect.push(r);
+            }
+            if cx.clean_path(load_at, pos, &protect).is_err() {
+                continue;
+            }
+            match other {
+                Operand::Imm(k) => {
+                    // k - c must be representable; checked_sub refuses
+                    // the rewrite rather than wrapping the immediate.
+                    let Some(k_prime) = k.checked_sub(c) else {
+                        continue;
+                    };
+                    out.push(WidenCandidate::Promote {
+                        pos,
+                        dst,
+                        op,
+                        addr,
+                        load_at,
+                        c,
+                        k_prime,
+                    });
+                }
+                Operand::Reg(_) => {
+                    if other_val.range.singleton().is_some() {
+                        out.push(WidenCandidate::DeclinedSingleton {
+                            pos,
+                            load_at,
+                            c,
+                            witness: other_val.range,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Cfg;
+    use crate::parser::parse_function;
+
+    fn candidates(src: &str) -> Vec<WidenCandidate> {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let ai = AbsInt::compute(&f, &cfg);
+        let regions = Regions::compute(&f, &cfg);
+        widen_candidates(&f, &cfg, &rd, &ai, &regions)
+    }
+
+    const GUARDED: &str = r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.lte r1, 100
+  condbr r2, ok, out
+ok:
+  r3 = add r1, 27
+  r4 = cmp.gt r3, 77
+  tmend
+  ret r4
+out:
+  tmend
+  ret 0
+}
+";
+
+    #[test]
+    fn guarded_offset_compare_promotes() {
+        let cands = candidates(GUARDED);
+        assert_eq!(
+            cands,
+            vec![WidenCandidate::Promote {
+                pos: (1, 1),
+                dst: 4,
+                op: CmpOp::Gt,
+                addr: Operand::Reg(0),
+                load_at: (0, 1),
+                c: 27,
+                k_prime: 50,
+            }]
+        );
+    }
+
+    #[test]
+    fn unguarded_offset_compare_cannot_prove_no_wrap() {
+        // Without the `<= 100` guard the add may wrap at i64::MAX, so
+        // `cmp (v+27), 77` is NOT equivalent to `cmp v, 50`.
+        let cands = candidates(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r3 = add r1, 27
+  r4 = cmp.gt r3, 77
+  tmend
+  ret r4
+}
+",
+        );
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn singleton_register_rhs_is_declined_with_witness() {
+        let cands = candidates(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.lte r1, 100
+  condbr r2, ok, out
+ok:
+  r3 = add r1, 27
+  r5 = const 77
+  r4 = cmp.gt r3, r5
+  tmend
+  ret r4
+out:
+  tmend
+  ret 0
+}
+",
+        );
+        assert_eq!(
+            cands,
+            vec![WidenCandidate::DeclinedSingleton {
+                pos: (1, 2),
+                load_at: (0, 1),
+                c: 27,
+                witness: Interval::constant(77),
+            }]
+        );
+    }
+
+    #[test]
+    fn intervening_write_blocks_widening() {
+        let cands = candidates(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.lte r1, 100
+  condbr r2, ok, out
+ok:
+  tmstore r0, 5
+  r3 = add r1, 27
+  r4 = cmp.gt r3, 77
+  tmend
+  ret r4
+out:
+  tmend
+  ret 0
+}
+",
+        );
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn outside_region_compare_is_ignored() {
+        let cands = candidates(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.lte r1, 100
+  tmend
+  condbr r2, ok, out
+ok:
+  r3 = add r1, 27
+  r4 = cmp.gt r3, 77
+  ret r4
+out:
+  ret 0
+}
+",
+        );
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+}

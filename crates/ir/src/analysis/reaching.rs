@@ -9,7 +9,7 @@
 
 use super::cfg::Cfg;
 use super::solver::{solve, DataflowProblem, Direction};
-use crate::ir::{BlockId, Function, Operand, Reg};
+use crate::ir::{BlockId, Function, Inst, Operand, Reg};
 
 /// Index into [`ReachingDefs::defs`].
 pub type DefId = u32;
@@ -25,6 +25,22 @@ pub enum DefSite {
     Entry(Reg),
     /// The instruction at this position defines the register.
     Inst(BlockId, usize),
+}
+
+/// Where an operand's value ultimately comes from, after resolving
+/// `mov` copy chains through unique reaching definitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueOrigin {
+    /// A manifest immediate.
+    Imm(i64),
+    /// The value an argument (or implicitly-zero) register held at
+    /// function entry, untouched by any real definition.
+    Entry(Reg),
+    /// The non-copy instruction at this position produced the value.
+    Def(Pos),
+    /// More than one definition reaches, or the chain left the
+    /// function (no usable identity).
+    Unknown,
 }
 
 /// Per-register sets of reaching definitions: `facts[r]` is a sorted
@@ -189,6 +205,35 @@ impl ReachingDefs {
             _ => false,
         }
     }
+
+    /// Resolve `op` at `pos` to its [`ValueOrigin`], following `mov`
+    /// copy chains through unique reaching definitions. Two operands
+    /// with the same non-[`ValueOrigin::Unknown`] origin denote the
+    /// same value even under different register names — the identity
+    /// `operand_identical` cannot see (same loop caveat applies: a
+    /// `Def` inside a loop body is one *site*, not one dynamic value).
+    pub fn operand_origin(&self, func: &Function, mut op: Operand, mut pos: Pos) -> ValueOrigin {
+        // The chain strictly follows unique defs backwards; a fuel
+        // bound guards against any pathological aliasing of sites.
+        for _ in 0..self.defs.len() + 1 {
+            let r = match op {
+                Operand::Imm(v) => return ValueOrigin::Imm(v),
+                Operand::Reg(r) => r,
+            };
+            match self.unique_def(pos, r) {
+                None => return ValueOrigin::Unknown,
+                Some(DefSite::Entry(e)) => return ValueOrigin::Entry(e),
+                Some(DefSite::Inst(b, i)) => match func.blocks[b].insts[i] {
+                    Inst::Mov { src, .. } => {
+                        op = src;
+                        pos = (b, i);
+                    }
+                    _ => return ValueOrigin::Def((b, i)),
+                },
+            }
+        }
+        ValueOrigin::Unknown
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +328,47 @@ mod tests {
         assert!(!rd.operand_identical(r0, (0, 0), r0, (0, 2)));
         assert!(rd.operand_identical(r0, (0, 0), r0, (0, 1)));
         assert!(rd.operand_identical(Operand::Imm(3), (0, 0), Operand::Imm(3), (0, 2)));
+    }
+
+    #[test]
+    fn origin_resolves_copy_chains() {
+        // r1 = load, r2 = mov r1, r3 = mov r2: all three share the
+        // load's origin; r0 keeps its entry origin through a copy.
+        let mut fb = FunctionBuilder::new("c", 1);
+        let (r1, r2, r3, r4) = (fb.reg(), fb.reg(), fb.reg(), fb.reg());
+        fb.push(Inst::TmLoad {
+            dst: r1,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::Mov {
+            dst: r2,
+            src: Operand::Reg(r1),
+        });
+        fb.push(Inst::Mov {
+            dst: r3,
+            src: Operand::Reg(r2),
+        });
+        fb.push(Inst::Mov {
+            dst: r4,
+            src: Operand::Reg(0),
+        });
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(r3)),
+        });
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let end = (0, 4);
+        let load = ValueOrigin::Def((0, 0));
+        assert_eq!(rd.operand_origin(&f, Operand::Reg(r1), end), load);
+        assert_eq!(rd.operand_origin(&f, Operand::Reg(r3), end), load);
+        assert_eq!(
+            rd.operand_origin(&f, Operand::Reg(r4), end),
+            ValueOrigin::Entry(0)
+        );
+        assert_eq!(
+            rd.operand_origin(&f, Operand::Imm(9), end),
+            ValueOrigin::Imm(9)
+        );
     }
 }

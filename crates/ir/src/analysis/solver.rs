@@ -49,6 +49,38 @@ pub trait DataflowProblem {
     /// (first-to-last instruction for forward, last-to-first for
     /// backward).
     fn transfer_block(&self, func: &Function, b: BlockId, fact: &mut Self::Fact);
+
+    /// Does this problem refine facts on CFG edges? When `false` (the
+    /// default) the solver skips the per-edge fact clone entirely, so
+    /// existing problems pay nothing for the hook.
+    fn has_edge_transfer(&self) -> bool {
+        false
+    }
+
+    /// Refine `fact` as it flows across the edge `from → to` (forward
+    /// problems only; called before joining into `to`). The canonical
+    /// client is branch refinement in the abstract interpreter: on the
+    /// then-edge of `condbr` the guarding comparison is known true, on
+    /// the else-edge known false. Only called when
+    /// [`Self::has_edge_transfer`] returns `true`.
+    fn transfer_edge(
+        &self,
+        _func: &Function,
+        _from: BlockId,
+        _to: BlockId,
+        _fact: &mut Self::Fact,
+    ) {
+    }
+
+    /// Join `from` into `into` at the entry of block `block`, returning
+    /// whether `into` changed. Defaults to the block-blind
+    /// [`Self::join`]; lattices with infinite ascending chains (the
+    /// interval domain) override this to apply *widening* once a block
+    /// has been joined into often enough, which is what makes the
+    /// fixpoint terminate.
+    fn join_at(&self, _block: BlockId, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        self.join(into, from)
+    }
 }
 
 /// The solved facts, indexed by block. `entry`/`exit` are in *program
@@ -112,7 +144,14 @@ pub fn solve<P: DataflowProblem>(func: &Function, cfg: &Cfg, problem: &P) -> Sol
             &cfg.preds[b]
         };
         for &d in dependents {
-            if problem.join(&mut input[d], &output[b]) && !on_list[d] {
+            let changed = if forward && problem.has_edge_transfer() {
+                let mut edge_fact = output[b].clone();
+                problem.transfer_edge(func, b, d, &mut edge_fact);
+                problem.join_at(d, &mut input[d], &edge_fact)
+            } else {
+                problem.join_at(d, &mut input[d], &output[b])
+            };
+            if changed && !on_list[d] {
                 on_list[d] = true;
                 work.push_back(d);
             }

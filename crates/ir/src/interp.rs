@@ -169,6 +169,10 @@ impl<'a> Interp<'a> {
                                 return Err(e);
                             }
                             backoff.pause(attempt);
+                            // Under the deterministic scheduler a retry is a
+                            // futile wait (the rival must run for it to fare
+                            // better) — same convention as `Stm::atomic`.
+                            semtm_core::sched::spin();
                             attempt = attempt.saturating_add(1);
                         }
                     }

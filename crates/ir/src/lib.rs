@@ -24,9 +24,11 @@
 //!   cross-block pattern matching, strict IR verifier) the passes and
 //!   lints are built on;
 //! * [`lint`] — the `semlint` semantic-misuse diagnostics (rules
-//!   `SL000`–`SL005`), also available as the `semlint` binary;
+//!   `SL000`–`SL011`), also available as the `semlint` binary;
+//! * [`sarif`] — a SARIF 2.1.0 exporter for the lint findings
+//!   (`semlint --format sarif`);
 //! * [`oracle`] — the differential-testing oracle asserting the passes
-//!   preserve observable behaviour on NOrec and S-NOrec.
+//!   preserve observable behaviour on every backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub mod oracle;
 pub mod parser;
 pub mod passes;
 pub mod programs;
+pub mod sarif;
 
 pub use analysis::{verify, Cfg, Liveness, ReachingDefs, VerifyError};
 pub use interp::{ExecError, Interp};

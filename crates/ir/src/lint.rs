@@ -5,14 +5,27 @@
 //! that a runtime can no longer catch. This module checks for them on
 //! whole functions, using the [`crate::analysis`] framework:
 //!
-//! | rule | severity | meaning |
-//! |-------|---------|---------|
-//! | SL000 | error   | the strict IR verifier rejected the function |
-//! | SL001 | error   | transactional read of an address after `_ITM_SW` in the same region (the deferred semantic increment is not forwarded to reads) |
-//! | SL002 | warning | non-transactional access to an address also accessed inside an atomic region (privatization hazard) |
-//! | SL003 | info    | a `cmp`/`inc` pattern was *almost* promotable; reports why the matcher declined |
-//! | SL004 | warning | duplicate transactional load of the same address with no intervening write (pays a second validation for the same value) |
-//! | SL005 | warning | a register definition whose value is never used (dead store) |
+//! Each rule has a one-defect seed fixture under `programs/lintcases/`
+//! (the example column; asserted exact by `tests/lintcases.rs`):
+//!
+//! | rule | severity | meaning | example |
+//! |-------|---------|---------|---------|
+//! | SL000 | error   | the strict IR verifier rejected the function | `programs/lintcases/sl000.ir:8:3` |
+//! | SL001 | error   | transactional read of an address after `_ITM_SW` in the same region (the deferred semantic increment is not forwarded to reads) | `programs/lintcases/sl001.ir:10:3` |
+//! | SL002 | warning | non-transactional access to an address also accessed inside an atomic region (privatization hazard) | `programs/lintcases/sl002.ir:12:3` |
+//! | SL003 | info    | a `cmp`/`inc` pattern was *almost* promotable; reports why the matcher declined | `programs/lintcases/sl003.ir:10:3` |
+//! | SL004 | warning | duplicate transactional load of the same address with no intervening write (downgraded to info when the pass pipeline folds it) | `programs/lintcases/sl004.ir:10:3` |
+//! | SL005 | warning | a register definition whose value is never used (dead store) | `programs/lintcases/sl005.ir:11:3` |
+//! | SL006 | warning | two distinct atomic regions statically guaranteed to collide on a raw, non-reducible access | `programs/lintcases/sl006.ir:12:3` |
+//! | SL007 | warning | a comparison whose outcome value-range analysis decides at compile time | `programs/lintcases/sl007.ir:12:3` |
+//! | SL008 | info    | a range-widened `tmcmp` promotion is provable but declined: the right-hand side is a register with a provably constant value, not an immediate | `programs/lintcases/sl008.ir:16:3` |
+//! | SL009 | info    | an atomic region that provably never writes (read-only fast-path candidate) | `programs/lintcases/sl009.ir:7:3` |
+//! | SL010 | warning | an address loaded inside an atomic region dereferenced after the region ended (escaped-pointer hazard) | `programs/lintcases/sl010.ir:12:3` |
+//! | SL011 | error   | a semantic builtin (`tmcmp`/`tmcmp2`/`tminc`) outside any atomic region | `programs/lintcases/sl011.ir:7:3` |
+//!
+//! Rules SL006–SL009 drive off the [`crate::analysis::absint`]
+//! abstract interpreter: the conflict matrix (SL006, SL009), interval
+//! queries (SL007) and the range-widening candidate scan (SL008).
 //!
 //! Diagnostics carry the instruction position and, when the function
 //! came from [`crate::parser::parse_function_spanned`], the source
@@ -20,7 +33,12 @@
 //! `warning`s describe performance or robustness smells the `tm_mark` /
 //! `tm_optimize` pipeline usually removes.
 
-use crate::analysis::{verify, Cfg, CmpMatch, Decline, Liveness, PatternCtx, Pos, ReachingDefs};
+use crate::analysis::absint::Overlap;
+use crate::analysis::absint::{widen_candidates, WidenCandidate};
+use crate::analysis::{
+    verify, AbsInt, Cfg, CmpMatch, ConflictAnalysis, Decline, Interval, Liveness, PatternCtx, Pos,
+    ReachingDefs, Regions, ValueOrigin,
+};
 use crate::ir::{Function, Inst, Operand};
 use crate::parser::{SourceMap, Span};
 
@@ -48,7 +66,7 @@ impl std::fmt::Display for Severity {
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id (`SL000`..`SL005`).
+    /// Rule id (`SL000`..`SL011`).
     pub rule: &'static str,
     /// Severity class.
     pub severity: Severity,
@@ -116,6 +134,36 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "register definition whose value is never used (dead store)",
     ),
+    (
+        "SL006",
+        Severity::Warning,
+        "two distinct atomic regions statically guaranteed to collide on a raw access",
+    ),
+    (
+        "SL007",
+        Severity::Warning,
+        "comparison whose outcome value-range analysis decides at compile time",
+    ),
+    (
+        "SL008",
+        Severity::Info,
+        "provable range-widened tmcmp promotion declined: rhs is a constant-valued register, not an immediate",
+    ),
+    (
+        "SL009",
+        Severity::Info,
+        "atomic region that provably never writes (read-only fast-path candidate)",
+    ),
+    (
+        "SL010",
+        Severity::Warning,
+        "address loaded inside an atomic region dereferenced after the region ended",
+    ),
+    (
+        "SL011",
+        Severity::Error,
+        "semantic builtin (tmcmp/tmcmp2/tminc) outside any atomic region",
+    ),
 ];
 
 /// The address operands a barrier instruction dereferences.
@@ -166,7 +214,10 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
     let rd = ReachingDefs::compute(func, &cfg);
     let live = Liveness::compute(func, &cfg);
     let cx = PatternCtx::new(func, &cfg, &rd);
-    let depth = region_depths(func, &cfg);
+    let absint = AbsInt::compute(func, &cfg);
+    let regions = Regions::compute(func, &cfg);
+    let conflicts = ConflictAnalysis::compute(func, &cfg, &absint, &regions);
+    let depth = |p: Pos| regions.depth(p);
     let mut out: Vec<Diagnostic> = Vec::new();
 
     // Block-level may-reachability through at least one edge.
@@ -197,11 +248,17 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
         })
         .collect();
     let inst_at = |p: Pos| &func.blocks[p.0].insts[p.1];
+    // Address identity: same register with identical reaching sets, OR
+    // the same resolved value origin — the latter sees through `mov`
+    // copy chains, which register-name identity cannot.
     let same_addr = |p: Pos, q: Pos| {
         addresses(inst_at(p)).iter().any(|&ap| {
-            addresses(inst_at(q))
-                .iter()
-                .any(|&aq| rd.operand_identical(ap, p, aq, q))
+            addresses(inst_at(q)).iter().any(|&aq| {
+                rd.operand_identical(ap, p, aq, q) || {
+                    let oa = rd.operand_origin(func, ap, p);
+                    oa != ValueOrigin::Unknown && oa == rd.operand_origin(func, aq, q)
+                }
+            })
         })
     };
 
@@ -210,13 +267,13 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
     // delta to the *semantic write set*; a later read is served from
     // memory and silently misses the increment.
     for &p in &accesses {
-        if !matches!(inst_at(p), Inst::TmInc { .. }) || depth[p.0][p.1] == 0 {
+        if !matches!(inst_at(p), Inst::TmInc { .. }) || depth(p) == 0 {
             continue;
         }
         for &q in &accesses {
             if q != p
                 && is_mem_read(inst_at(q))
-                && depth[q.0][q.1] > 0
+                && depth(q) > 0
                 && may_follow(p, q)
                 && same_addr(p, q)
             {
@@ -239,13 +296,10 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
     // and outside one — the outside access races with other
     // transactions (privatization hazard).
     for &q in &accesses {
-        if depth[q.0][q.1] != 0 {
+        if depth(q) != 0 {
             continue;
         }
-        if let Some(&p) = accesses
-            .iter()
-            .find(|&&p| depth[p.0][p.1] > 0 && same_addr(p, q))
-        {
+        if let Some(&p) = accesses.iter().find(|&&p| depth(p) > 0 && same_addr(p, q)) {
             out.push(spanned(
                 Some(q),
                 "SL002",
@@ -300,31 +354,39 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
 
     // SL004: two loads of the identical address with nothing in between
     // that could change the value — the second pays a second barrier
-    // (and, on NOrec, a second validation) for the same word.
-    for &p in &accesses {
-        let Inst::TmLoad { addr: ap, .. } = *inst_at(p) else {
-            continue;
+    // (and, on NOrec, a second validation) for the same word. A finding
+    // the pass pipeline provably folds away is only informational; one
+    // that *survives* the pipeline is a real extra validation and stays
+    // a warning.
+    let dups = duplicate_load_pairs(func, &cfg, &rd, &cx);
+    if !dups.is_empty() {
+        let folded = {
+            let mut opt = func.clone();
+            let _ = crate::passes::run_tm_passes(&mut opt);
+            let ocfg = Cfg::new(&opt);
+            let ord = ReachingDefs::compute(&opt, &ocfg);
+            let ocx = PatternCtx::new(&opt, &ocfg, &ord);
+            duplicate_load_pairs(&opt, &ocfg, &ord, &ocx).is_empty()
         };
-        for &q in &accesses {
-            let Inst::TmLoad { addr: aq, .. } = *inst_at(q) else {
-                continue;
+        for (p, q) in dups {
+            let (severity, verdict) = if folded {
+                (
+                    Severity::Info,
+                    "the tm_mark/tm_optimize pipeline folds this",
+                )
+            } else {
+                (Severity::Warning, "the pass pipeline cannot fold this")
             };
-            if q == p || !may_follow(p, q) || !rd.operand_identical(ap, p, aq, q) {
-                continue;
-            }
-            let protect: Vec<_> = ap.reg().into_iter().collect();
-            if cx.clean_path(p, q, &protect).is_ok() {
-                out.push(spanned(
-                    Some(q),
-                    "SL004",
-                    Severity::Warning,
-                    format!(
-                        "duplicate transactional load of the same address (first \
-                         loaded at ({}, {})); tm_mark/tm_optimize would fold this",
-                        p.0, p.1
-                    ),
-                ));
-            }
+            out.push(spanned(
+                Some(q),
+                "SL004",
+                severity,
+                format!(
+                    "duplicate transactional load of the same address (first \
+                     loaded at ({}, {})); {verdict}",
+                    p.0, p.1
+                ),
+            ));
         }
     }
 
@@ -365,42 +427,208 @@ pub fn lint_function(func: &Function, map: Option<&SourceMap>) -> Vec<Diagnostic
         }
     }
 
+    // SL006: two distinct regions in this function statically
+    // guaranteed to collide on a raw access when two threads run them
+    // concurrently — neither byte nor semantic validation can ride
+    // through it, so one side always aborts.
+    for i in 0..conflicts.summaries.len() {
+        for j in i + 1..conflicts.summaries.len() {
+            let Some(c) = conflicts.conflict(i, j) else {
+                continue;
+            };
+            if c.overlap == Overlap::Must && !c.reducible {
+                out.push(spanned(
+                    Some(c.witness.1),
+                    "SL006",
+                    Severity::Warning,
+                    format!(
+                        "atomic regions R{i} and R{j} are statically guaranteed \
+                         to conflict: this access collides with ({}, {}) on the \
+                         same word and is not semantically reducible",
+                        c.witness.0 .0, c.witness.0 .1
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL007: a comparison whose outcome the value ranges already
+    // decide — the check is dead weight, and a guard that can never
+    // fire usually hides a logic error.
+    let show = |iv: Interval| {
+        if iv == Interval::TOP {
+            "(-inf..inf)".to_string()
+        } else {
+            format!("[{}..{}]", iv.lo, iv.hi)
+        }
+    };
+    for (b, blk) in func.blocks.iter().enumerate() {
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let Inst::Cmp { op, a, b: rb, .. } = *inst else {
+                continue;
+            };
+            if !absint.state_reachable((b, i)) {
+                continue;
+            }
+            let va = absint.operand((b, i), a).range;
+            let vb = absint.operand((b, i), rb).range;
+            if let Some(outcome) = Interval::cmp_always(op, va, vb) {
+                out.push(spanned(
+                    Some((b, i)),
+                    "SL007",
+                    Severity::Warning,
+                    format!(
+                        "comparison is always {outcome} by value-range analysis \
+                         (lhs in {}, rhs in {})",
+                        show(va),
+                        show(vb)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL008: every proof obligation of the range-widened promotion
+    // holds, but the compared-against side is a register — tm_widen
+    // only bakes manifest immediates into the rewritten tmcmp.
+    for cand in widen_candidates(func, &cfg, &rd, &absint, &regions) {
+        let WidenCandidate::DeclinedSingleton {
+            pos,
+            load_at,
+            c,
+            witness,
+        } = cand
+        else {
+            continue;
+        };
+        let k = witness.singleton().unwrap_or(witness.lo);
+        out.push(spanned(
+            Some(pos),
+            "SL008",
+            Severity::Info,
+            format!(
+                "range analysis proves this compare of load({}, {})+{c} is \
+                 tmcmp-promotable (the right-hand register always holds {k}), \
+                 but the rewrite needs an immediate; use {k} directly",
+                load_at.0, load_at.1
+            ),
+        ));
+    }
+
+    // SL009: a region that provably never writes can take a read-only
+    // fast path — no write-set bookkeeping, no deferred increments.
+    for s in &conflicts.summaries {
+        if s.is_read_only() {
+            out.push(spanned(
+                regions.begins(s.region).first().copied(),
+                "SL009",
+                Severity::Info,
+                format!(
+                    "atomic region R{} only reads and compares; eligible for a \
+                     read-only fast path",
+                    s.region
+                ),
+            ));
+        }
+    }
+
+    // SL010: an address computed from a value loaded inside an atomic
+    // region, dereferenced after the region ended — once the
+    // transaction commits, nothing keeps the pointed-to word stable
+    // (escaped-pointer hazard).
+    for &q in &accesses {
+        if depth(q) != 0 {
+            continue;
+        }
+        for aq in addresses(inst_at(q)) {
+            let ValueOrigin::Def(p) = rd.operand_origin(func, aq, q) else {
+                continue;
+            };
+            if matches!(inst_at(p), Inst::TmLoad { .. }) && regions.region(p).is_some() {
+                out.push(spanned(
+                    Some(q),
+                    "SL010",
+                    Severity::Warning,
+                    format!(
+                        "dereferences an address loaded inside an atomic region \
+                         (at ({}, {})) after that region ended; the pointed-to \
+                         word is unprotected here",
+                        p.0, p.1
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL011: a semantic builtin with no enclosing region. The verifier
+    // allows plain loads/stores outside regions (they are ordinary
+    // accesses), but tmcmp/tmcmp2/tminc have no transaction to attach
+    // their deferred semantics to.
+    for &q in &accesses {
+        if depth(q) == 0
+            && matches!(
+                inst_at(q),
+                Inst::TmInc { .. } | Inst::TmCmpVal { .. } | Inst::TmCmpAddr { .. }
+            )
+        {
+            out.push(spanned(
+                Some(q),
+                "SL011",
+                Severity::Error,
+                "semantic builtin outside any atomic region; there is no \
+                 transaction to defer the operation into"
+                    .to_string(),
+            ));
+        }
+    }
+
     out.sort_by(|x, y| (x.pos, x.rule).cmp(&(y.pos, y.rule)));
     out.dedup();
     out
 }
 
-/// Atomic-region depth before each instruction (the function is already
-/// verified, so per-block entry depths are consistent).
-fn region_depths(func: &Function, cfg: &Cfg) -> Vec<Vec<u32>> {
+/// All `(first, second)` pairs of transactional loads of the identical
+/// address with a provably clean path between them (the SL004 shape).
+fn duplicate_load_pairs(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    cx: &PatternCtx,
+) -> Vec<(Pos, Pos)> {
     let n = func.blocks.len();
-    let mut depth_in: Vec<Option<u32>> = vec![None; n];
-    depth_in[0] = Some(0);
-    let mut work = vec![0usize];
-    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    while let Some(b) = work.pop() {
-        let mut depth = depth_in[b].expect("queued blocks have a depth");
-        let mut per_inst = Vec::with_capacity(func.blocks[b].insts.len());
-        for inst in &func.blocks[b].insts {
-            per_inst.push(depth);
-            match inst {
-                Inst::TmBegin => depth += 1,
-                Inst::TmEnd => depth = depth.saturating_sub(1),
-                _ => {}
-            }
-        }
-        out[b] = per_inst;
-        for &s in &cfg.succs[b] {
-            if depth_in[s].is_none() {
-                depth_in[s] = Some(depth);
-                work.push(s);
+    let mut reach = vec![vec![false; n]; n];
+    for (b, row) in reach.iter_mut().enumerate() {
+        let mut stack = cfg.succs[b].clone();
+        while let Some(s) = stack.pop() {
+            if !row[s] {
+                row[s] = true;
+                stack.extend(cfg.succs[s].iter());
             }
         }
     }
-    // Unreachable blocks: treat as depth 0.
-    for (b, blk) in func.blocks.iter().enumerate() {
-        if out[b].is_empty() && !blk.insts.is_empty() {
-            out[b] = vec![0; blk.insts.len()];
+    let may_follow = |p: Pos, q: Pos| (p.0 == q.0 && q.1 > p.1) || reach[p.0][q.0];
+    let mut out = Vec::new();
+    for (bp, blkp) in func.blocks.iter().enumerate() {
+        for (ip, instp) in blkp.insts.iter().enumerate() {
+            let Inst::TmLoad { addr: ap, .. } = *instp else {
+                continue;
+            };
+            let p = (bp, ip);
+            for (bq, blkq) in func.blocks.iter().enumerate() {
+                for (iq, instq) in blkq.insts.iter().enumerate() {
+                    let Inst::TmLoad { addr: aq, .. } = *instq else {
+                        continue;
+                    };
+                    let q = (bq, iq);
+                    if q == p || !may_follow(p, q) || !rd.operand_identical(ap, p, aq, q) {
+                        continue;
+                    }
+                    let protect: Vec<_> = ap.reg().into_iter().collect();
+                    if cx.clean_path(p, q, &protect).is_ok() {
+                        out.push((p, q));
+                    }
+                }
+            }
         }
     }
     out
@@ -570,6 +798,199 @@ entry:
         assert_eq!(span.line, 5);
         let rendered = sl1.render("x.ir");
         assert!(rendered.starts_with("x.ir:5:3: error[SL001]"), "{rendered}");
+    }
+
+    #[test]
+    fn copied_address_still_trips_privatization_warning() {
+        // The depth-0 access goes through a `mov` of the region's
+        // address register: register-name identity misses it, the
+        // copy-chain origin does not.
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  tmstore r0, 1
+  tmend
+  r1 = mov r0
+  r2 = tmload r1
+  ret r2
+}
+",
+        );
+        let sl2: Vec<_> = d.iter().filter(|d| d.rule == "SL002").collect();
+        assert_eq!(sl2.len(), 1, "{d:?}");
+        assert_eq!(sl2[0].pos, Some((0, 4)));
+    }
+
+    #[test]
+    fn foldable_duplicate_load_is_downgraded_to_info() {
+        // The first load only feeds a promotable compare: tm_mark turns
+        // the compare into a tmcmp, tm_optimize removes the orphaned
+        // load, and the duplicate is gone — info, not warning.
+        let d = lint_src(
+            r"
+func f(2) {
+entry:
+  tmbegin
+  r2 = tmload r0
+  r3 = cmp.gt r2, 0
+  r4 = tmload r0
+  r5 = add r4, r3
+  tminc r1, 1
+  tmend
+  ret r5
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL004"], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Info);
+        assert!(d[0].message.contains("folds this"), "{d:?}");
+    }
+
+    #[test]
+    fn guaranteed_region_conflict_warns() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  tmstore r0, 1
+  tmend
+  tmbegin
+  tmstore r0, 2
+  tmend
+  ret
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL006"], "{d:?}");
+        assert_eq!(d[0].pos, Some((0, 4)));
+        assert!(d[0].message.contains("R0 and R1"), "{d:?}");
+    }
+
+    #[test]
+    fn range_decided_comparison_warns() {
+        // r1 >= 10 on the then-edge makes `r1 > 5` always true.
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.gte r1, 10
+  condbr r2, big, out
+big:
+  r3 = cmp.gt r1, 5
+  tmstore r0, r3
+  tmend
+  ret r3
+out:
+  tmend
+  ret 0
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL007"], "{d:?}");
+        assert_eq!(d[0].pos, Some((1, 0)));
+        assert!(d[0].message.contains("always true"), "{d:?}");
+    }
+
+    #[test]
+    fn declined_singleton_promotion_reports_info() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = cmp.lte r1, 100
+  condbr r2, ok, out
+ok:
+  r3 = add r1, 27
+  r5 = const 77
+  r4 = cmp.gt r3, r5
+  tmstore r0, 1
+  tmend
+  ret r4
+out:
+  tmend
+  ret 0
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL008"], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Info);
+        assert!(d[0].message.contains("use 77 directly"), "{d:?}");
+    }
+
+    #[test]
+    fn read_only_region_reports_fast_path_candidate() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmcmp.gt r0, 10
+  tmend
+  ret r1
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL009"], "{d:?}");
+        assert_eq!(d[0].pos, Some((0, 0)), "anchored at the tmbegin");
+        assert_eq!(d[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn escaped_pointer_dereference_warns() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  tmstore r0, 5
+  tmend
+  r2 = tmload r1
+  ret r2
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL010"], "{d:?}");
+        assert_eq!(d[0].pos, Some((0, 4)));
+        let deref_in_region = lint_src(
+            r"
+func f(1) {
+entry:
+  tmbegin
+  r1 = tmload r0
+  r2 = tmload r1
+  tmend
+  ret r2
+}
+",
+        );
+        assert!(
+            !rules_of(&deref_in_region).contains(&"SL010"),
+            "in-region deref is protected: {deref_in_region:?}"
+        );
+    }
+
+    #[test]
+    fn semantic_builtin_outside_region_is_an_error() {
+        let d = lint_src(
+            r"
+func f(1) {
+entry:
+  tminc r0, 1
+  ret
+}
+",
+        );
+        assert_eq!(rules_of(&d), vec!["SL011"], "{d:?}");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].pos, Some((0, 0)));
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! the promoted builtins are *observationally equivalent* to the
 //! classical barrier sequences they replace. This module tests exactly
 //! that, end to end: every builtin kernel in [`crate::programs`] is run
-//! through a scripted scenario four ways — {original, after
-//! `tm_mark`+`tm_optimize`} × {NOrec, S-NOrec} — and the oracle asserts
-//! that all four executions return identical results and leave
-//! identical heap state. Alongside the equivalence verdict it reports
+//! through a scripted scenario eight ways — {original, after
+//! `tm_widen`+`tm_mark`+`tm_optimize`} × every [`Algorithm`] (NOrec,
+//! S-NOrec, TL2, S-TL2) — and the oracle asserts that all executions
+//! return identical results and leave identical heap state. Alongside
+//! the equivalence verdict it reports
 //! the barrier-count reduction the passes achieved (the paper's
 //! 2-calls→1 argument, aggregated per kernel).
 //!
@@ -41,16 +42,18 @@ impl std::fmt::Display for DiffReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} -> {} barriers (s1r {}, s2r {}, sw {}, loads removed {}), \
-             {} calls identical on NOrec and S-NOrec",
+            "{}: {} -> {} barriers (widened {}, s1r {}, s2r {}, sw {}, loads removed {}), \
+             {} calls identical on all {} backends",
             self.name,
             self.barriers_before,
             self.barriers_after,
+            self.passes.widened,
             self.passes.s1r,
             self.passes.s2r,
             self.passes.sw,
             self.passes.loads_removed,
-            self.calls
+            self.calls,
+            Algorithm::ALL.len()
         )
     }
 }
@@ -211,6 +214,20 @@ fn observe(func: &Function, alg: Algorithm) -> Result<(Vec<i64>, usize), OracleE
             obs.push(s.read_now(lock));
             obs.push(s.read_now(count));
         }
+        "range_gate" => {
+            let tokens = s.alloc_cell(0i64);
+            let grants = s.alloc_cell(0i64);
+            let args = [tokens.index() as i64, grants.index() as i64];
+            // Sweep the threshold (51 admits, 50 does not), the cap
+            // boundary (100 in, 101 out), and a negative balance — the
+            // widened `tmcmp.gt tokens, 50` must agree everywhere.
+            for t in [60, 51, 50, 100, 101, 0, -5, 77, 120] {
+                s.write_now(tokens, t);
+                call(&args)?;
+            }
+            obs.push(s.read_now(tokens));
+            obs.push(s.read_now(grants));
+        }
         other => return Err(OracleError::NoScenario(other.to_string())),
     }
     Ok((obs, calls))
@@ -224,7 +241,7 @@ pub fn check_function(func: &Function) -> Result<DiffReport, OracleError> {
     let mut baseline: Option<(String, Vec<i64>)> = None;
     let mut calls = 0usize;
     for (label_fn, f) in [("original", func), ("passed", &passed)] {
-        for alg in [Algorithm::NOrec, Algorithm::SNOrec] {
+        for alg in Algorithm::ALL {
             let label = format!("{label_fn}/{alg:?}");
             let (obs, c) = observe(f, alg)?;
             calls = c;
@@ -270,7 +287,7 @@ mod tests {
     #[test]
     fn oracle_accepts_all_builtin_kernels() {
         let reports = run_differential_oracle().unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), 5);
         for r in &reports {
             // S1R promotions trade a load barrier for a compare barrier
             // (cheaper, not fewer); only SW promotions fuse two barriers
@@ -279,7 +296,10 @@ mod tests {
             assert!(r.barriers_after <= r.barriers_before, "{r}");
             let promotions = r.passes.s1r + r.passes.s2r + r.passes.sw;
             assert!(promotions > 0, "every kernel has a promotable pattern: {r}");
-            if r.passes.sw > 0 {
+            // A widened compare turns a *plain* Cmp into a tmcmp
+            // barrier (one new barrier, cheaper than the load it
+            // replaces), offsetting one SW fusion in the count.
+            if r.passes.sw > r.passes.widened {
                 assert!(
                     r.barriers_after < r.barriers_before,
                     "SW promotion must shed barriers: {r}"
@@ -297,6 +317,12 @@ mod tests {
         assert_eq!(guard.passes.s1r, 1);
         let ht = reports.iter().find(|r| r.name == "ht_op").unwrap();
         assert_eq!(ht.passes.s1r, 3, "all three probe checks promoted");
+        let gate = reports.iter().find(|r| r.name == "range_gate").unwrap();
+        assert_eq!(
+            gate.passes.widened, 1,
+            "range widening fires on the offset compare: {gate}"
+        );
+        assert_eq!((gate.barriers_before, gate.barriers_after), (3, 3));
     }
 
     #[test]

@@ -1,5 +1,10 @@
-//! The paper's two GCC middle-end passes, reimplemented over our IR.
+//! The paper's GCC middle-end passes, reimplemented over our IR.
 //!
+//! * [`tm_widen`] — range-widened promotion: the abstract interpreter
+//!   ([`crate::analysis::absint`]) proves that `cmp (load + c), k` is
+//!   the relation `cmp load, k - c` (no-wrap certificate from the
+//!   interval domain), reaching promotions the syntactic matcher below
+//!   structurally cannot see;
 //! * [`tm_mark`] — pattern detection (§6): conditional expressions with a
 //!   transactional-load origin become `_ITM_S1R`/`_ITM_S2R` builtins;
 //!   transactional stores of `load ± local` on the same address become
@@ -25,13 +30,17 @@
 //! after `tm_optimize`, so a pass bug surfaces as a [`VerifyError`]
 //! instead of silent miscompilation.
 
+use crate::analysis::absint::{widen_candidates, AbsInt, Regions, WidenCandidate};
 use crate::analysis::{verify, Cfg, CmpMatch, Liveness, PatternCtx, ReachingDefs, VerifyError};
-use crate::ir::{Function, Inst};
+use crate::ir::{Function, Inst, Operand};
 
 /// Statistics reported by a pass run (used by the Figure-2 harness to
 /// show the 2→1 TM-call reduction).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PassReport {
+    /// `Cmp` instructions rewritten to `_ITM_S1R` by range widening
+    /// (abstract interpretation), which the syntactic matcher declined.
+    pub widened: usize,
     /// `Cmp` instructions rewritten to `_ITM_S1R`.
     pub s1r: usize,
     /// `Cmp` instructions rewritten to `_ITM_S2R`.
@@ -42,6 +51,43 @@ pub struct PassReport {
     pub loads_removed: usize,
     /// Pure ALU instructions removed as never-live.
     pub pure_removed: usize,
+}
+
+/// The range-widening pass: rewrite `cmp.OP (tmload a) + c, k` into
+/// `tmcmp.OP a, k - c` when the abstract interpreter proves the `+ c`
+/// cannot wrap (see [`crate::analysis::absint::widen`]). Runs *before*
+/// [`tm_mark`] on the original IR, where the guards feeding the
+/// interval refinement are still plain `Cmp`s; the `c == 0` cases are
+/// deliberately left to the syntactic matcher.
+pub fn tm_widen(func: &mut Function) -> PassReport {
+    let mut report = PassReport::default();
+    let cfg = Cfg::new(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    let absint = AbsInt::compute(func, &cfg);
+    let regions = Regions::compute(func, &cfg);
+    // Like tm_mark: a rewritten Cmp defines the same register at the
+    // same position, so collecting first keeps the analyses valid.
+    let cands = widen_candidates(func, &cfg, &rd, &absint, &regions);
+    for cand in cands {
+        if let WidenCandidate::Promote {
+            pos,
+            dst,
+            op,
+            addr,
+            k_prime,
+            ..
+        } = cand
+        {
+            func.blocks[pos.0].insts[pos.1] = Inst::TmCmpVal {
+                op,
+                dst,
+                addr,
+                val: Operand::Imm(k_prime),
+            };
+            report.widened += 1;
+        }
+    }
+    report
 }
 
 /// The `tm_mark` extension: detect and rewrite the paper's `cmp` and
@@ -160,14 +206,19 @@ pub fn tm_optimize(func: &mut Function) -> PassReport {
     }
 }
 
-/// Run both passes in order (the "modified GCC" configuration) with the
-/// strict verifier before, between, and after, and merge the reports.
+/// Run the full pipeline (the "modified GCC" configuration) —
+/// `tm_widen`, `tm_mark`, `tm_optimize` in order — with the strict
+/// verifier before, between, and after every pass, and merge the
+/// reports.
 pub fn run_tm_passes_checked(func: &mut Function) -> Result<PassReport, VerifyError> {
+    verify(func)?;
+    let w = tm_widen(func);
     verify(func)?;
     let mut r = tm_mark(func);
     verify(func)?;
     let o = tm_optimize(func);
     verify(func)?;
+    r.widened = w.widened;
     r.loads_removed = o.loads_removed;
     r.pure_removed = o.pure_removed;
     Ok(r)

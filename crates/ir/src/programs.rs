@@ -18,7 +18,10 @@
 //!   balance updates);
 //! * [`cross_block_guard`] — a test-and-set guard whose comparison sits
 //!   in a different basic block than its feeding load, exercising the
-//!   whole-function matcher.
+//!   whole-function matcher;
+//! * [`range_gate`] — a token-bucket admission gate whose threshold
+//!   check compares an *offset* of the loaded value, promotable only by
+//!   the abstract interpreter's range widening ([`crate::passes::tm_widen`]).
 
 use crate::ir::Function;
 use crate::parser::parse_function;
@@ -54,6 +57,16 @@ pub const BANK_TRANSFER_SRC: &str = include_str!("../../../programs/bank_transfe
 /// Returns 1 if the lock was acquired, 0 if it was already held.
 pub const CROSS_BLOCK_GUARD_SRC: &str = include_str!("../../../programs/cross_block_guard.ir");
 
+/// Token-bucket admission gate (see `programs/range_gate.ir`).
+///
+/// Admits when `*tokens <= 100 && *tokens + 27 > 77` — the offset
+/// compare is the range-widening acceptance kernel: syntactically it is
+/// a compare of an `add`, not of a load, so `tm_mark` declines it;
+/// `tm_widen` proves `+ 27` cannot wrap under the capacity guard and
+/// rewrites it to `tmcmp.gt tokens, 50`. Arguments: `r0` = tokens
+/// address, `r1` = grants address. Returns 1 admitted, 0 rejected.
+pub const RANGE_GATE_SRC: &str = include_str!("../../../programs/range_gate.ir");
+
 /// Parse the hashtable kernel.
 pub fn hashtable_op() -> Function {
     parse_function(HASHTABLE_OP_SRC).expect("ht_op parses")
@@ -74,6 +87,11 @@ pub fn cross_block_guard() -> Function {
     parse_function(CROSS_BLOCK_GUARD_SRC).expect("cross_block_guard parses")
 }
 
+/// Parse the range-gate kernel.
+pub fn range_gate() -> Function {
+    parse_function(RANGE_GATE_SRC).expect("range_gate parses")
+}
+
 /// All builtin kernels, paired with the path of their `.ir` source
 /// relative to the repository root (used by the differential oracle and
 /// by `semlint --builtin`).
@@ -83,6 +101,7 @@ pub fn all() -> Vec<(&'static str, Function)> {
         ("programs/vac_reserve.ir", vacation_reserve()),
         ("programs/bank_transfer.ir", bank_transfer()),
         ("programs/cross_block_guard.ir", cross_block_guard()),
+        ("programs/range_gate.ir", range_gate()),
     ]
 }
 
@@ -95,6 +114,7 @@ pub fn sources() -> Vec<(&'static str, &'static str)> {
         ("programs/vac_reserve.ir", VACATION_RESERVE_SRC),
         ("programs/bank_transfer.ir", BANK_TRANSFER_SRC),
         ("programs/cross_block_guard.ir", CROSS_BLOCK_GUARD_SRC),
+        ("programs/range_gate.ir", RANGE_GATE_SRC),
     ]
 }
 
@@ -243,15 +263,16 @@ mod tests {
 
     #[test]
     fn passes_are_idempotent_with_exact_counts() {
-        // (s1r, s2r, sw, loads_removed, pure_removed) per kernel. A
-        // second run over already-transformed IR must find nothing left
-        // to rewrite — the builtins are terminal forms, not inputs to
-        // further matching.
+        // (widened, s1r, s2r, sw, loads_removed, pure_removed) per
+        // kernel. A second run over already-transformed IR must find
+        // nothing left to rewrite — the builtins are terminal forms,
+        // not inputs to further matching.
         let expected = [
-            ("programs/ht_op.ir", (3, 0, 0, 3, 0)),
-            ("programs/vac_reserve.ir", (2, 0, 2, 4, 2)),
-            ("programs/bank_transfer.ir", (1, 0, 2, 3, 2)),
-            ("programs/cross_block_guard.ir", (1, 0, 1, 2, 1)),
+            ("programs/ht_op.ir", (0, 3, 0, 0, 3, 0)),
+            ("programs/vac_reserve.ir", (0, 2, 0, 2, 4, 2)),
+            ("programs/bank_transfer.ir", (0, 1, 0, 2, 3, 2)),
+            ("programs/cross_block_guard.ir", (0, 1, 0, 1, 2, 1)),
+            ("programs/range_gate.ir", (1, 1, 0, 1, 2, 2)),
         ];
         for (path, mut f) in all() {
             let want = expected
@@ -262,6 +283,7 @@ mod tests {
             let rep = run_tm_passes(&mut f);
             assert_eq!(
                 (
+                    rep.widened,
                     rep.s1r,
                     rep.s2r,
                     rep.sw,
@@ -274,15 +296,76 @@ mod tests {
             let again = run_tm_passes(&mut f);
             assert_eq!(
                 (
+                    again.widened,
                     again.s1r,
                     again.s2r,
                     again.sw,
                     again.loads_removed,
                     again.pure_removed
                 ),
-                (0, 0, 0, 0, 0),
+                (0, 0, 0, 0, 0, 0),
                 "{path}: second run must be a no-op, got {again:?}"
             );
+        }
+    }
+
+    #[test]
+    fn range_gate_widening_beats_syntactic_matcher() {
+        use crate::ir::{Inst, Operand};
+        use semtm_core::CmpOp;
+        // Syntactic pipeline only: the offset compare survives as a
+        // plain Cmp — tm_mark declines it (the compared register is an
+        // add, not a load).
+        let mut syntactic = range_gate();
+        let rep = crate::passes::tm_mark(&mut syntactic);
+        assert_eq!(rep.s1r, 1, "only the capacity guard matches: {rep:?}");
+        assert_eq!(
+            syntactic.count_insts(|i| matches!(i, Inst::Cmp { .. })),
+            1,
+            "the offset compare is declined syntactically"
+        );
+        // Full pipeline: the abstract interpreter proves the rewrite.
+        let mut f = range_gate();
+        let rep = run_tm_passes(&mut f);
+        assert_eq!(rep.widened, 1, "{rep:?}");
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::Cmp { .. })), 0);
+        // The widened builtin checks the folded relation *tokens > 50.
+        assert_eq!(
+            f.count_insts(|i| matches!(
+                i,
+                Inst::TmCmpVal {
+                    op: CmpOp::Gt,
+                    val: Operand::Imm(50),
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(f.barrier_count(), 3, "2 tmcmp + 1 tminc");
+    }
+
+    #[test]
+    fn range_gate_admits_only_above_threshold() {
+        for passes in [false, true] {
+            let s = stm(Algorithm::SNOrec);
+            let tokens = s.alloc_cell(60i64);
+            let grants = s.alloc_cell(0i64);
+            let mut f = range_gate();
+            if passes {
+                run_tm_passes(&mut f);
+            }
+            let interp = Interp::new(&s);
+            let args = vec![tokens.index() as i64, grants.index() as i64];
+            assert_eq!(interp.execute(&f, &args).unwrap(), Some(1), "60 > 50");
+            s.write_now(tokens, 50);
+            assert_eq!(
+                interp.execute(&f, &args).unwrap(),
+                Some(0),
+                "50 is not > 50"
+            );
+            s.write_now(tokens, 120);
+            assert_eq!(interp.execute(&f, &args).unwrap(), Some(0), "over cap");
+            assert_eq!(s.read_now(grants), 1, "granted exactly once");
         }
     }
 

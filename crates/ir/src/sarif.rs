@@ -1,0 +1,152 @@
+//! SARIF 2.1.0 export for `semlint` findings.
+//!
+//! Hand-rolled JSON in the same spirit as `semtm-bench`'s `jsonin` —
+//! the workspace takes no registry dependencies, and the subset of
+//! SARIF that GitHub code scanning consumes is small: one `run` with a
+//! `tool.driver` carrying the rule catalogue, and one `result` per
+//! diagnostic with a `physicalLocation` when the source span is known.
+//!
+//! Severity maps onto the SARIF `level` vocabulary: `error` → `error`,
+//! `warning` → `warning`, `info` → `note`.
+
+use crate::lint::{Diagnostic, Severity, RULES};
+use std::fmt::Write;
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render one SARIF 2.1.0 log for the given `(file, diagnostics)`
+/// pairs — one `result` per diagnostic, all under a single `semlint`
+/// run whose driver carries the full rule catalogue.
+pub fn sarif_report(files: &[(String, Vec<Diagnostic>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"semlint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, sev, summary)) in RULES.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            esc(id),
+            esc(summary),
+            level(*sev)
+        );
+        out.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let mut first = true;
+    for (file, diags) in files {
+        for d in diags {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let rule_index = RULES
+                .iter()
+                .position(|(id, _, _)| *id == d.rule)
+                .unwrap_or(0);
+            let _ = write!(
+                out,
+                "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": \"{}\"}}",
+                esc(d.rule),
+                rule_index,
+                level(d.severity),
+                esc(&d.message),
+                esc(file)
+            );
+            if let Some(s) = d.span {
+                let _ = write!(
+                    out,
+                    ", \"region\": {{\"startLine\": {}, \"startColumn\": {}}}",
+                    s.line, s.col
+                );
+            }
+            out.push_str("}}]}");
+        }
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint_function;
+    use crate::parser::parse_function_spanned;
+
+    // Full JSON-grammar validation lives in
+    // `crates/bench/tests/sarif_schema.rs`, where `jsonin` is in scope
+    // without a dependency cycle; these tests pin the structure.
+
+    #[test]
+    fn report_carries_rules_results_and_spans() {
+        let (f, map) =
+            parse_function_spanned("func f(1) {\nentry:\n  tminc r0, 1\n  ret\n}\n").unwrap();
+        let files = vec![("x.ir".to_string(), lint_function(&f, Some(&map)))];
+        let report = sarif_report(&files);
+        assert!(report.contains("\"version\": \"2.1.0\""));
+        assert!(report.contains("\"name\": \"semlint\""));
+        for (id, _, _) in RULES {
+            assert!(report.contains(&format!("\"id\": \"{id}\"")), "{id} listed");
+        }
+        assert!(report.contains("\"ruleId\": \"SL011\""));
+        assert!(report.contains("\"level\": \"error\""));
+        assert!(report.contains("\"uri\": \"x.ir\""));
+        assert!(
+            report.contains("\"startLine\": 3, \"startColumn\": 3"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn messages_with_quotes_and_newlines_escape_cleanly() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn info_maps_to_note_level() {
+        assert_eq!(level(Severity::Info), "note");
+        assert_eq!(level(Severity::Warning), "warning");
+    }
+}

@@ -30,9 +30,23 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> semlint (checked-in IR programs + differential oracle)"
-# Fails on any error-severity diagnostic, parse failure, or oracle
-# divergence; warnings (e.g. SL004 duplicate loads the passes fold) are
-# informational for the pre-pass sources.
-cargo run --release -q -p semtm-ir --bin semlint -- --oracle programs/*.ir
+# The shipping kernels must be warning-clean (duplicate loads the
+# passes fold are downgraded to info), and the oracle must agree on
+# every backend.
+cargo run --release -q -p semtm-ir --bin semlint -- --deny warnings --oracle programs/*.ir
+
+echo "==> semlint seeded-defect fixtures + SARIF artifact"
+# Each programs/lintcases/*.ir seeds exactly one SL rule (exact
+# per-rule counts are asserted by crates/ir/tests/lintcases.rs), so
+# semlint over the combined set MUST fail — while writing the SARIF
+# report that CI uploads as an artifact.
+mkdir -p results
+if cargo run --release -q -p semtm-ir --bin semlint -- \
+    --format sarif --output results/semlint.sarif \
+    programs/*.ir programs/lintcases/*.ir; then
+  echo "tier1: semlint missed the seeded defects in programs/lintcases" >&2
+  exit 1
+fi
+test -s results/semlint.sarif
 
 echo "tier1: OK"
