@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-snorec",
     "ablation-cm",
     "ablation-ring",
+    "ablation-layout",
     "contention",
     "telemetry",
     "trace",
@@ -201,6 +202,14 @@ fn main() {
             "Ablation A4 — RingSTM commit filters on/off (LRU, S-NOrec)",
             exp::ablation_ring_filters(&sweep),
             &[("S-NOrec", "S-NOrec/ring-filters")],
+        );
+    }
+    if pick("ablation-layout") {
+        emit(
+            "ablation_layout",
+            "Ablation A5 — memory layout x commit clock (Bank + Hashtable, S-NOrec)",
+            exp::ablation_layout_clock(&sweep),
+            &[("S-NOrec/global+flat", "S-NOrec/sharded+padded")],
         );
     }
     if pick("telemetry") {

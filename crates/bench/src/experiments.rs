@@ -353,6 +353,7 @@ pub fn contention_sweep(sweep: &Sweep) -> Vec<FigureRow> {
         ops_per_tx: 10,
         get_pct: 60, // heavy mutation
         key_space: 1 << 12,
+        padded: false,
     };
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
@@ -429,6 +430,96 @@ pub fn ablation_cm_policy(sweep: &Sweep) -> Vec<FigureRow> {
                 figure: "A3",
                 benchmark: "bank",
                 algorithm: format!("S-NOrec/{}", policy.name()),
+                threads: r.threads,
+                metric: "throughput_ktps",
+                value: r.throughput_ktps(),
+                abort_pct: r.abort_pct(),
+                commits: r.stats.commits,
+                aborts: r.stats.conflict_aborts(),
+            });
+        }
+    }
+    rows
+}
+
+/// Ablation A5: memory layout × commit clock on S-NOrec, over Bank and
+/// Hashtable — the four cells {global, 16-shard clock} × {flat
+/// contiguous arrays, line-striped padded arrays}.
+///
+/// The headline cell is sharded+padded: striping puts each account/cell
+/// on its own cache line and therefore its own clock shard, so a
+/// committing writer bumps only the shards it wrote and concurrent
+/// readers revalidate only the read-set entries on shards that moved,
+/// instead of the whole read-set on every tick of one global sequence
+/// lock. sharded+flat is the control showing that the clock alone can't
+/// help while a contiguous layout collapses all traffic into shard 0;
+/// global+padded isolates the layout's cache effect.
+///
+/// The two benchmarks sit on opposite sides of the trade: the hashtable
+/// runs the contention_sweep regime (90% occupancy ⇒ long probe chains
+/// ⇒ large compare-sets, heavy mutation ⇒ a busy clock), where the
+/// sharded clock's partial revalidation wins; Bank's transactions write
+/// ~20 scattered accounts but compare only ~10, so the per-shard
+/// acquisition cost has almost no validation savings to pay for it —
+/// the CSV records that cost honestly.
+pub fn ablation_layout_clock(sweep: &Sweep) -> Vec<FigureRow> {
+    const SHARDS: usize = 16;
+    const LINE_WORDS: usize = semtm_core::heap::LINE_WORDS;
+    let variants: [(&str, usize, bool); 4] = [
+        ("global+flat", 1, false),
+        ("global+padded", 1, true),
+        ("sharded+flat", SHARDS, false),
+        ("sharded+padded", SHARDS, true),
+    ];
+    let bank_cfg = bank::BankConfig {
+        accounts: sweep.pick(32, 64),
+        ..bank::BankConfig::default()
+    };
+    let ht_cap = sweep.pick(1 << 9, 1 << 10);
+    let ht_cfg = hashtable::HashtableConfig {
+        capacity: ht_cap,
+        fill_pct: 45,
+        tombstone_pct: 45,
+        get_pct: 60,
+        key_space: (ht_cap as u64) * 4,
+        ..hashtable::HashtableConfig::default()
+    };
+    let mut rows = Vec::new();
+    for (label, shards, padded) in variants {
+        let stm_with = |heap_words: usize| {
+            Stm::new(
+                StmConfig::new(Algorithm::SNOrec)
+                    .heap_words(heap_words)
+                    .orec_count(1 << 14)
+                    .clock_shards(shards),
+            )
+        };
+        for &t in &sweep.threads {
+            let stm = stm_with(bank_cfg.accounts * LINE_WORDS + 4 * LINE_WORDS);
+            let cfg = bank::BankConfig { padded, ..bank_cfg };
+            let r = bank::run(&stm, cfg, t, sweep.duration, sweep.seed);
+            rows.push(FigureRow {
+                figure: "A5",
+                benchmark: "bank",
+                algorithm: format!("S-NOrec/{label}"),
+                threads: r.threads,
+                metric: "throughput_ktps",
+                value: r.throughput_ktps(),
+                abort_pct: r.abort_pct(),
+                commits: r.stats.commits,
+                aborts: r.stats.conflict_aborts(),
+            });
+        }
+        for &t in &sweep.threads {
+            // Striping costs LINE_WORDS× per array; size the heap for
+            // the padded cells so all four share one capacity.
+            let stm = stm_with(ht_cap * LINE_WORDS * 2 + 4 * LINE_WORDS);
+            let cfg = hashtable::HashtableConfig { padded, ..ht_cfg };
+            let r = hashtable::run(&stm, cfg, t, sweep.duration, sweep.seed);
+            rows.push(FigureRow {
+                figure: "A5",
+                benchmark: "hashtable",
+                algorithm: format!("S-NOrec/{label}"),
                 threads: r.threads,
                 metric: "throughput_ktps",
                 value: r.throughput_ktps(),
@@ -565,6 +656,27 @@ mod tests {
         let rows = ablation_cm_policy(&tiny());
         assert_eq!(rows.len(), CmPolicy::ALL.len());
         assert!(rows.iter().all(|r| r.commits > 0));
+    }
+
+    #[test]
+    fn layout_clock_ablation_covers_all_cells() {
+        let rows = ablation_layout_clock(&tiny());
+        // 4 variants × 1 thread count × 2 benchmarks.
+        assert_eq!(rows.len(), 8);
+        for label in [
+            "S-NOrec/global+flat",
+            "S-NOrec/global+padded",
+            "S-NOrec/sharded+flat",
+            "S-NOrec/sharded+padded",
+        ] {
+            for bench in ["bank", "hashtable"] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.algorithm == label && r.benchmark == bench && r.commits > 0),
+                    "{label}/{bench} missing or empty"
+                );
+            }
+        }
     }
 
     #[test]

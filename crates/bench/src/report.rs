@@ -408,12 +408,26 @@ pub fn markdown_table(title: &str, rows: &[FigureRow]) -> String {
         out.push_str("(no data)\n");
         return out;
     }
-    out.push_str(&format!(
-        "| algorithm | threads | {} | abort % | commits | aborts |\n",
-        rows[0].metric
-    ));
-    out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    // Multi-benchmark row-sets (e.g. the A5 layout ablation) get an
+    // extra leading column; single-benchmark tables keep the old shape.
+    let multi = rows.iter().any(|r| r.benchmark != rows[0].benchmark);
+    if multi {
+        out.push_str(&format!(
+            "| benchmark | algorithm | threads | {} | abort % | commits | aborts |\n",
+            rows[0].metric
+        ));
+        out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    } else {
+        out.push_str(&format!(
+            "| algorithm | threads | {} | abort % | commits | aborts |\n",
+            rows[0].metric
+        ));
+        out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    }
     for r in rows {
+        if multi {
+            out.push_str(&format!("| {} ", r.benchmark));
+        }
         out.push_str(&format!(
             "| {} | {} | {:.2} | {:.1} | {} | {} |\n",
             r.algorithm, r.threads, r.value, r.abort_pct, r.commits, r.aborts
@@ -443,10 +457,14 @@ pub fn write_csv(name: &str, rows: &[FigureRow]) -> std::io::Result<std::path::P
 pub fn speedup_summary(rows: &[FigureRow], base: &str, semantic: &str) -> String {
     let mut out = String::new();
     let higher_is_better = rows.first().map(|r| r.metric) == Some("throughput_ktps");
+    // Experiments like the A5 layout ablation interleave several
+    // benchmarks in one row-set; pairing must match on benchmark as
+    // well as thread count or the digest compares apples to oranges.
+    let multi = rows.iter().any(|r| r.benchmark != rows[0].benchmark);
     for r in rows.iter().filter(|r| r.algorithm == semantic) {
         if let Some(b) = rows
             .iter()
-            .find(|b| b.algorithm == base && b.threads == r.threads)
+            .find(|b| b.algorithm == base && b.threads == r.threads && b.benchmark == r.benchmark)
         {
             if b.value > 0.0 && r.value > 0.0 {
                 let ratio = if higher_is_better {
@@ -454,8 +472,13 @@ pub fn speedup_summary(rows: &[FigureRow], base: &str, semantic: &str) -> String
                 } else {
                     b.value / r.value
                 };
+                let bench = if multi {
+                    format!(" [{}]", r.benchmark)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  {semantic} vs {base} @ {} threads: {ratio:.2}x (aborts {:.1}% -> {:.1}%)\n",
+                    "  {semantic} vs {base}{bench} @ {} threads: {ratio:.2}x (aborts {:.1}% -> {:.1}%)\n",
                     r.threads, b.abort_pct, r.abort_pct
                 ));
             }
@@ -507,6 +530,23 @@ mod tests {
         let rows = vec![row("NOrec", 2, 10.0, 50.0), row("S-NOrec", 2, 25.0, 5.0)];
         let s = speedup_summary(&rows, "NOrec", "S-NOrec");
         assert!(s.contains("2.50x"), "{s}");
+    }
+
+    #[test]
+    fn speedup_summary_pairs_within_benchmark() {
+        let mut bank_base = row("NOrec", 2, 100.0, 0.0);
+        let mut bank_sem = row("S-NOrec", 2, 50.0, 0.0);
+        bank_base.benchmark = "bank";
+        bank_sem.benchmark = "bank";
+        let rows = vec![
+            bank_base,
+            bank_sem,
+            row("NOrec", 2, 10.0, 50.0),
+            row("S-NOrec", 2, 25.0, 5.0),
+        ];
+        let s = speedup_summary(&rows, "NOrec", "S-NOrec");
+        assert!(s.contains("[bank] @ 2 threads: 0.50x"), "{s}");
+        assert!(s.contains("[hashtable] @ 2 threads: 2.50x"), "{s}");
     }
 
     #[test]

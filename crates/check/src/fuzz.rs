@@ -26,14 +26,47 @@ pub fn iterations(dflt: usize) -> usize {
         .unwrap_or(dflt)
 }
 
-/// An [`Stm`] sized and tuned for scheduler-driven micro executions:
-/// tiny heap, short lock patience, minimal backoff.
-pub fn check_stm(alg: Algorithm) -> Stm {
-    let mut cfg = StmConfig::new(alg).heap_words(64).orec_count(16);
+/// Commit-clock shard count for the check runtimes: `SEMTM_CLOCK_SHARDS`
+/// when set (tier-1 reruns the whole suite with it at 4 so every
+/// scenario and fuzz program also gates the sharded clock), else 1 —
+/// the classical global sequence lock.
+pub fn clock_shards() -> usize {
+    std::env::var("SEMTM_CLOCK_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+fn check_config(alg: Algorithm, shards: usize) -> StmConfig {
+    // A sharded run gets a slightly bigger heap (8 cache lines) plus
+    // padded allocation, so separately allocated cells land on distinct
+    // lines and therefore distinct clock shards — otherwise a 64-word
+    // micro heap collapses every address into shard 0 and the sharded
+    // paths go untested.
+    let sharded = shards > 1;
+    let mut cfg = StmConfig::new(alg)
+        .heap_words(if sharded { 128 } else { 64 })
+        .orec_count(16)
+        .clock_shards(shards)
+        .padded_alloc(sharded);
     cfg.lock_wait_spins = 8;
     cfg.backoff_min_spins = 1;
     cfg.backoff_max_spins = 2;
-    Stm::new(cfg)
+    cfg
+}
+
+/// An [`Stm`] sized and tuned for scheduler-driven micro executions:
+/// tiny heap, short lock patience, minimal backoff. Honors
+/// [`clock_shards`].
+pub fn check_stm(alg: Algorithm) -> Stm {
+    check_stm_sharded(alg, clock_shards())
+}
+
+/// [`check_stm`] with an explicit commit-clock shard count, regardless
+/// of the `SEMTM_CLOCK_SHARDS` environment.
+pub fn check_stm_sharded(alg: Algorithm, shards: usize) -> Stm {
+    Stm::new(check_config(alg, shards))
 }
 
 /// [`check_stm`] with the flight recorder on, for replaying a failing
@@ -42,54 +75,94 @@ pub fn check_stm(alg: Algorithm) -> Stm {
 /// construct one `Stm` per schedule, so the eager per-shard ring
 /// allocation must stay cheap.
 pub fn check_stm_traced(alg: Algorithm) -> Stm {
-    let mut cfg = StmConfig::new(alg)
-        .heap_words(64)
-        .orec_count(16)
-        .telemetry(TelemetryLevel::Spans)
-        .trace_capacity(64);
-    cfg.lock_wait_spins = 8;
-    cfg.backoff_min_spins = 1;
-    cfg.backoff_max_spins = 2;
-    Stm::new(cfg)
+    check_stm_traced_sharded(alg, clock_shards())
 }
 
-fn exec_op(rtx: &mut RecTx<'_, '_>, op: POp, base: Addr) -> Result<(), Abort> {
+/// [`check_stm_traced`] with an explicit commit-clock shard count.
+pub fn check_stm_traced_sharded(alg: Algorithm, shards: usize) -> Stm {
+    Stm::new(
+        check_config(alg, shards)
+            .telemetry(TelemetryLevel::Spans)
+            .trace_capacity(64),
+    )
+}
+
+fn exec_op(rtx: &mut RecTx<'_, '_>, op: POp, base: Addr, stride: usize) -> Result<(), Abort> {
+    let slot = |s: usize| base.offset(s * stride);
     match op {
         POp::Read(s) => {
-            rtx.read(base.offset(s))?;
+            rtx.read(slot(s))?;
         }
-        POp::Write(s, v) => rtx.write(base.offset(s), v)?,
-        POp::Inc(s, d) => rtx.inc(base.offset(s), d)?,
+        POp::Write(s, v) => rtx.write(slot(s), v)?,
+        POp::Inc(s, d) => rtx.inc(slot(s), d)?,
         POp::Cmp(s, op, c) => {
-            rtx.cmp(base.offset(s), op, c)?;
+            rtx.cmp(slot(s), op, c)?;
         }
         POp::CmpAddr(a, op, b) => {
-            rtx.cmp_addr(base.offset(a), op, base.offset(b))?;
+            rtx.cmp_addr(slot(a), op, slot(b))?;
         }
         POp::Guard(s, op, c, s2, d) => {
-            if rtx.cmp(base.offset(s), op, c)? {
-                rtx.inc(base.offset(s2), d)?;
+            if rtx.cmp(slot(s), op, c)? {
+                rtx.inc(slot(s2), d)?;
             }
         }
     }
     Ok(())
 }
 
+/// Slot spacing in heap words: sharded runtimes place each program slot
+/// on its own cache line so the slots span distinct clock shards
+/// (contiguous slots would all map to shard 0 and leave the multi-shard
+/// commit paths unexercised).
+fn slot_stride(shards: usize) -> usize {
+    if shards > 1 {
+        semtm_core::heap::LINE_WORDS
+    } else {
+        1
+    }
+}
+
 /// Run `program` once on `alg` under the random schedule `sched_seed`,
 /// recording the full history. Errors describe any divergence from the
 /// serial oracle or any checker violation, with enough context to
-/// replay.
+/// replay. Honors [`clock_shards`].
 pub fn run_program(program: &Program, alg: Algorithm, sched_seed: u64) -> Result<(), String> {
-    run_program_on(&check_stm(alg), program, alg, sched_seed)
+    run_program_sharded(program, alg, sched_seed, clock_shards())
+}
+
+/// [`run_program`] with an explicit commit-clock shard count.
+pub fn run_program_sharded(
+    program: &Program,
+    alg: Algorithm,
+    sched_seed: u64,
+    shards: usize,
+) -> Result<(), String> {
+    run_program_on(
+        &check_stm_sharded(alg, shards),
+        program,
+        alg,
+        sched_seed,
+        slot_stride(shards),
+    )
 }
 
 /// Replay `program` on a flight-recorder-enabled runtime under the same
 /// schedule and return the recorded timeline as Chrome trace-event JSON
 /// (pass/fail of the replay itself is irrelevant — the spans are the
-/// product).
+/// product). Honors [`clock_shards`].
 pub fn trace_program(program: &Program, alg: Algorithm, sched_seed: u64) -> String {
-    let stm = check_stm_traced(alg);
-    let _ = run_program_on(&stm, program, alg, sched_seed);
+    trace_program_sharded(program, alg, sched_seed, clock_shards())
+}
+
+/// [`trace_program`] with an explicit commit-clock shard count.
+pub fn trace_program_sharded(
+    program: &Program,
+    alg: Algorithm,
+    sched_seed: u64,
+    shards: usize,
+) -> String {
+    let stm = check_stm_traced_sharded(alg, shards);
+    let _ = run_program_on(&stm, program, alg, sched_seed, slot_stride(shards));
     chrome_trace_json(alg, &stm.telemetry().span_events())
 }
 
@@ -98,21 +171,22 @@ fn run_program_on(
     program: &Program,
     alg: Algorithm,
     sched_seed: u64,
+    stride: usize,
 ) -> Result<(), String> {
-    let base = stm.alloc(program.slots);
+    let base = stm.alloc(program.slots * stride);
     for (i, v) in program.init.iter().enumerate() {
-        stm.write_now(base.offset(i), *v);
+        stm.write_now(base.offset(i * stride), *v);
     }
     let rec = Recorder::new();
 
-    let shared = (stm, &rec, program, base);
-    type Shared<'a> = (&'a Stm, &'a Recorder, &'a Program, Addr);
+    let shared = (stm, &rec, program, base, stride);
+    type Shared<'a> = (&'a Stm, &'a Recorder, &'a Program, Addr, usize);
     let body = |tid: usize, shared: &Shared<'_>| {
-        let (stm, rec, program, base) = *shared;
+        let (stm, rec, program, base, stride) = *shared;
         for tx in &program.threads[tid] {
             atomic_recorded(stm, rec, tid, |rtx| {
                 for &op in tx {
-                    exec_op(rtx, op, base)?;
+                    exec_op(rtx, op, base, stride)?;
                 }
                 Ok(())
             });
@@ -131,7 +205,7 @@ fn run_program_on(
     }
 
     let final_mem: Vec<i64> = (0..program.slots)
-        .map(|i| stm.read_now(base.offset(i)))
+        .map(|i| stm.read_now(base.offset(i * stride)))
         .collect();
     if !program.serial_outcomes().contains(&final_mem) {
         return Err(format!(
@@ -146,23 +220,31 @@ fn run_program_on(
         .init
         .iter()
         .enumerate()
-        .map(|(i, v)| (base.offset(i), *v))
+        .map(|(i, v)| (base.offset(i * stride), *v))
         .collect();
     let fin: Vec<(Addr, i64)> = final_mem
         .iter()
         .enumerate()
-        .map(|(i, v)| (base.offset(i), *v))
+        .map(|(i, v)| (base.offset(i * stride), *v))
         .collect();
     check_history(&rec.attempts(), &init, &fin).map_err(|e| format!("{alg}: {e}"))
 }
 
 /// Fuzz `programs` random programs, each on every algorithm, under
 /// independently seeded random schedules derived from `base_seed`.
+/// Honors [`clock_shards`].
 ///
 /// On failure the failing program is minimized with [`shrink`] and the
 /// panic message carries the program, algorithm, program seed, and
 /// schedule seed — everything needed to replay.
 pub fn run_differential(programs: usize, base_seed: u64) {
+    run_differential_sharded(programs, base_seed, clock_shards());
+}
+
+/// [`run_differential`] with an explicit commit-clock shard count —
+/// the fuzz gate the sharded commit clock must pass on all four
+/// backends (`tests/sharded_clock.rs`) independent of the environment.
+pub fn run_differential_sharded(programs: usize, base_seed: u64, shards: usize) {
     let mut seeder = SplitMix64::new(base_seed);
     for i in 0..programs {
         let prog_seed = seeder.next_u64();
@@ -170,16 +252,18 @@ pub fn run_differential(programs: usize, base_seed: u64) {
         let mut rng = SplitMix64::new(prog_seed);
         let program = Program::generate(&mut rng);
         for alg in Algorithm::ALL {
-            if let Err(msg) = run_program(&program, alg, sched_seed) {
-                let minimized = shrink(&program, |p| run_program(p, alg, sched_seed).is_err());
+            if let Err(msg) = run_program_sharded(&program, alg, sched_seed, shards) {
+                let minimized = shrink(&program, |p| {
+                    run_program_sharded(p, alg, sched_seed, shards).is_err()
+                });
                 let note = crate::tracedump::dump_note(
                     &format!("fuzz_{alg}"),
-                    &trace_program(&minimized, alg, sched_seed),
+                    &trace_program_sharded(&minimized, alg, sched_seed, shards),
                 );
                 panic!(
                     "differential fuzz failure at program {i}/{programs} on {alg} \
                      (program seed {prog_seed:#x}, schedule seed {sched_seed:#x}, \
-                     base seed {base_seed:#x}): {msg}\n{note}\n\
+                     base seed {base_seed:#x}, clock shards {shards}): {msg}\n{note}\n\
                      minimized program: {minimized:#?}"
                 );
             }

@@ -8,11 +8,29 @@
 //! types. The typed layer in [`crate::tvar`] is purely a convenience on
 //! top.
 //!
-//! Allocation is a thread-safe bump pointer plus an optional free list of
-//! fixed-size blocks (enough for the STAMP-style workloads, which allocate
-//! nodes of a handful of distinct sizes and recycle them through pools).
+//! Allocation is a thread-safe CAS-reserved bump pointer (enough for the
+//! STAMP-style workloads, which allocate nodes of a handful of distinct
+//! sizes and recycle them through pools).
+//!
+//! # Cache-line discipline
+//!
+//! Word index 0 sits on a 128-byte boundary and every run of
+//! [`LINE_WORDS`] consecutive indices shares one cache line (the crate is
+//! `forbid(unsafe_code)`, so instead of an aligned allocation the backing
+//! array is over-allocated by one line and indexed at a runtime base
+//! offset — one integer add on the access path). On top of that,
+//! [`Heap::alloc_padded`] reserves whole cache lines, so independently
+//! allocated nodes never false-share a line; see DESIGN.md §8.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Bytes per padding unit: two 64-byte cache lines, matching the
+/// `#[repr(align(128))]` stat shards in [`crate::telemetry`] (adjacent-line
+/// prefetchers pull line pairs, so 128 is the safe stride).
+pub const LINE_BYTES: usize = 128;
+
+/// Heap words per padding unit ([`LINE_BYTES`] / 8).
+pub const LINE_WORDS: usize = LINE_BYTES / 8;
 
 /// Index of a 64-bit word in the transactional [`Heap`].
 ///
@@ -23,9 +41,19 @@ pub struct Addr(pub(crate) u32);
 
 impl Addr {
     /// Address `self + i` — used for indexing into heap-allocated arrays.
+    ///
+    /// # Panics
+    /// Panics if `self + i` overflows the address space (`u32`). The old
+    /// unchecked form truncated `i` to 32 bits and wrapped the add in
+    /// release builds, silently aliasing an unrelated heap word — which
+    /// corrupts value-based conflict detection rather than failing.
     #[inline]
     pub fn offset(self, i: usize) -> Addr {
-        Addr(self.0 + i as u32)
+        let i = u32::try_from(i)
+            .ok()
+            .and_then(|i| self.0.checked_add(i))
+            .unwrap_or_else(|| panic!("address offset out of range: {} + {}", self.0, i));
+        Addr(i)
     }
 
     /// The raw word index.
@@ -38,6 +66,9 @@ impl Addr {
     ///
     /// Intended for (de)serialising addresses across the IR boundary; the
     /// address must have been produced by an allocation on the same heap.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit the 32-bit address space.
     #[inline]
     pub fn from_index(i: usize) -> Addr {
         Addr(u32::try_from(i).expect("heap address out of range"))
@@ -51,17 +82,40 @@ impl Addr {
 /// checking results outside transactions; during concurrent execution all
 /// accesses must go through a transaction.
 pub struct Heap {
+    /// Backing store, over-allocated by `LINE_WORDS - 1` words; logical
+    /// word `i` lives at `words[base + i]`.
     words: Box<[AtomicU64]>,
+    /// Offset of logical word 0, chosen so it starts a 128-byte line.
+    base: usize,
+    /// Logical capacity in words (what `alloc` may hand out).
+    capacity: usize,
     next: AtomicUsize,
 }
 
 impl Heap {
-    /// Create a heap with capacity for `capacity` words, all zeroed.
+    /// Create a heap with capacity for `capacity` words, all zeroed, with
+    /// word 0 cache-line-aligned.
+    ///
+    /// # Panics
+    /// Panics if `capacity` exceeds the 32-bit [`Addr`] space (checked
+    /// before the backing array is allocated).
     pub fn new(capacity: usize) -> Heap {
-        let mut v = Vec::with_capacity(capacity);
-        v.resize_with(capacity, || AtomicU64::new(0));
+        assert!(
+            capacity <= u32::MAX as usize + 1,
+            "heap capacity {capacity} words exceeds the 32-bit address space"
+        );
+        let mut v = Vec::with_capacity(capacity + LINE_WORDS - 1);
+        v.resize_with(capacity + LINE_WORDS - 1, || AtomicU64::new(0));
+        let words = v.into_boxed_slice();
+        // `as usize` on a pointer is safe (no deref); AtomicU64 is 8-byte
+        // aligned, so the distance to the next 128-byte boundary is a
+        // whole number of words.
+        let addr = words.as_ptr() as usize;
+        let base = (LINE_BYTES - (addr % LINE_BYTES)) % LINE_BYTES / 8;
         Heap {
-            words: v.into_boxed_slice(),
+            words,
+            base,
+            capacity,
             next: AtomicUsize::new(0),
         }
     }
@@ -69,13 +123,40 @@ impl Heap {
     /// Number of words this heap can hold.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.words.len()
+        self.capacity
     }
 
-    /// Number of words allocated so far.
+    /// Number of words allocated so far. A failed (panicking) allocation
+    /// does not change this — reservation is a CAS that only succeeds
+    /// when the block fits.
     #[inline]
     pub fn allocated(&self) -> usize {
-        self.next.load(Ordering::Relaxed).min(self.words.len())
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `n` words starting at `next` rounded up by `align_up`,
+    /// retrying the CAS under contention. Returns the reserved start.
+    fn reserve(&self, n: usize, align: usize) -> usize {
+        assert!(n > 0, "zero-sized allocation");
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let start = cur.next_multiple_of(align);
+            let end = start.saturating_add(n);
+            assert!(
+                end <= self.capacity,
+                "transactional heap exhausted: capacity {} words, {} in use, requested {} more",
+                self.capacity,
+                cur,
+                n
+            );
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return start,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Allocate `n` contiguous words (zero-initialised at heap creation;
@@ -85,43 +166,52 @@ impl Heap {
     /// # Panics
     /// Panics if the heap is exhausted; the heap is a fixed-size arena by
     /// design (matching the static memory model of conflict detection —
-    /// addresses stay meaningful for the lifetime of the `Stm`).
+    /// addresses stay meaningful for the lifetime of the `Stm`). A failed
+    /// allocation leaves the heap unchanged: the reservation is a CAS
+    /// loop, not a blind `fetch_add`, so racing allocators cannot leak
+    /// reservations past the arena.
     pub fn alloc(&self, n: usize) -> Addr {
+        Addr::from_index(self.reserve(n, 1))
+    }
+
+    /// Allocate `n` contiguous words on a fresh cache line, consuming a
+    /// whole number of lines so the *next* allocation (padded or not)
+    /// starts on a different line. Opt-in layout mode for workload node
+    /// pools: nodes allocated this way never false-share, at a cost of
+    /// up to `LINE_WORDS - 1` words of slack per allocation.
+    ///
+    /// # Panics
+    /// As [`Heap::alloc`].
+    pub fn alloc_padded(&self, n: usize) -> Addr {
         assert!(n > 0, "zero-sized allocation");
-        let start = self.next.fetch_add(n, Ordering::Relaxed);
-        assert!(
-            start + n <= self.words.len(),
-            "transactional heap exhausted: capacity {} words, requested {} more",
-            self.words.len(),
-            n
-        );
-        Addr(start as u32)
+        let lines = n.div_ceil(LINE_WORDS);
+        Addr::from_index(self.reserve(lines * LINE_WORDS, LINE_WORDS))
     }
 
     /// Non-transactional (racy w.r.t. running transactions) word load.
     #[inline]
     pub fn load(&self, a: Addr) -> i64 {
-        self.words[a.0 as usize].load(Ordering::SeqCst) as i64
+        self.words[self.base + a.0 as usize].load(Ordering::SeqCst) as i64
     }
 
     /// Non-transactional word store. Only safe for program logic when no
     /// transaction is concurrently running (setup / teardown phases).
     #[inline]
     pub fn store(&self, a: Addr, v: i64) {
-        self.words[a.0 as usize].store(v as u64, Ordering::SeqCst);
+        self.words[self.base + a.0 as usize].store(v as u64, Ordering::SeqCst);
     }
 
     /// Word load used by the STM algorithms themselves.
     #[inline]
     pub(crate) fn tm_load(&self, a: Addr) -> i64 {
-        self.words[a.0 as usize].load(Ordering::SeqCst) as i64
+        self.words[self.base + a.0 as usize].load(Ordering::SeqCst) as i64
     }
 
     /// Word store used by the STM algorithms at commit time (caller must
     /// hold the appropriate lock: the NOrec sequence lock or the TL2 orec).
     #[inline]
     pub(crate) fn tm_store(&self, a: Addr, v: i64) {
-        self.words[a.0 as usize].store(v as u64, Ordering::SeqCst);
+        self.words[self.base + a.0 as usize].store(v as u64, Ordering::SeqCst);
     }
 }
 
@@ -164,6 +254,72 @@ mod tests {
     fn alloc_past_capacity_panics() {
         let h = Heap::new(2);
         let _ = h.alloc(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of range")]
+    fn offset_overflow_panics() {
+        // The old `self.0 + i as u32` truncated this offset to 0 in a
+        // release build and returned the *same* address.
+        let _ = Addr(1).offset(1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of range")]
+    fn offset_add_wrap_panics() {
+        let _ = Addr(u32::MAX).offset(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit address space")]
+    fn oversized_arena_rejected_up_front() {
+        // Checked before the backing array is allocated, so this does not
+        // try to reserve 32 GiB — and `alloc` can never hand out an index
+        // that `Addr::from_index` would truncate.
+        let _ = Heap::new((u32::MAX as usize) + 2);
+    }
+
+    #[test]
+    fn failed_alloc_leaves_allocated_consistent() {
+        let h = Heap::new(8);
+        let _ = h.alloc(6);
+        // The old fetch-add-then-assert bumped `next` to 10 here and
+        // `allocated()` clamped over it; now the reservation never lands.
+        assert!(std::panic::catch_unwind(|| h.alloc(4)).is_err());
+        assert_eq!(h.allocated(), 6);
+        // A fitting retry still succeeds.
+        let a = h.alloc(2);
+        assert_eq!(a.index(), 6);
+        assert_eq!(h.allocated(), 8);
+    }
+
+    #[test]
+    fn word_zero_is_line_aligned() {
+        let h = Heap::new(64);
+        let addr = h.words[h.base..].as_ptr() as usize;
+        assert_eq!(addr % LINE_BYTES, 0, "word 0 not on a 128-byte boundary");
+    }
+
+    #[test]
+    fn padded_allocs_land_on_distinct_lines() {
+        let h = Heap::new(LINE_WORDS * 8);
+        let a = h.alloc_padded(1);
+        let b = h.alloc_padded(LINE_WORDS + 1);
+        let c = h.alloc(1);
+        assert_eq!(a.index() % LINE_WORDS, 0);
+        assert_eq!(b.index() % LINE_WORDS, 0);
+        assert_eq!(b.index(), LINE_WORDS);
+        // A two-line node consumes both of its lines.
+        assert_eq!(c.index(), 3 * LINE_WORDS);
+        assert_eq!(h.allocated(), 3 * LINE_WORDS + 1);
+    }
+
+    #[test]
+    fn padded_alloc_after_unpadded_skips_to_boundary() {
+        let h = Heap::new(LINE_WORDS * 4);
+        let _ = h.alloc(3);
+        let a = h.alloc_padded(2);
+        assert_eq!(a.index(), LINE_WORDS);
     }
 
     #[test]

@@ -76,6 +76,8 @@ pub mod norec;
 pub mod ops;
 pub mod ring;
 pub mod sched;
+pub mod sclock;
+pub mod scnorec;
 pub mod sets;
 pub mod stats;
 pub mod stm;

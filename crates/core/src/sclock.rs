@@ -1,0 +1,234 @@
+//! The sharded commit clock of the NOrec family.
+//!
+//! Plain NOrec serialises every writer commit through **one** global
+//! sequence lock, and every reader revalidates its whole read-set
+//! whenever that word moves — ROADMAP item 3's scalability ceiling. The
+//! sharded clock splits the single word into `2^k` per-shard sequence
+//! locks (each on its own 128-byte line, like the telemetry stat
+//! shards), with heap addresses mapped to shards at cache-line
+//! granularity:
+//!
+//! ```text
+//! shard(addr) = (addr.index() / LINE_WORDS) & mask
+//! ```
+//!
+//! Two consequences fall out of that mapping:
+//!
+//! * **Writers only contend when their write-sets share a line.** A
+//!   commit acquires exactly the shards covering its write-set (in
+//!   ascending index order — see [`crate::scnorec`] for the protocol),
+//!   so disjoint commits touch disjoint shard words.
+//! * **Readers only revalidate what moved.** A shard's sequence word
+//!   covers *exactly* the addresses mapping to it, so a reader whose
+//!   snapshot of shard `s` is still current knows no write-back touched
+//!   any shard-`s` address — those read-set entries are skipped.
+//!
+//! With `clock_shards = 1` the mapping collapses to a single word and
+//! the protocol degenerates to textbook NOrec.
+//!
+//! The per-shard words follow the NOrec seqlock convention: even = free
+//! (a timestamp), odd = a writer is committing. Timestamps only move
+//! forward on commit (`+2`); a failed acquisition rolls back to the
+//! pre-acquire even value, which is indistinguishable from the lock
+//! never having been taken because rollback happens strictly before any
+//! data write-back.
+
+use crate::heap::{Addr, LINE_WORDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard of the commit clock, padded to its own line pair so that
+/// writers bumping different shards never false-share (the same
+/// `#[repr(align(128))]` treatment as [`crate::telemetry`]'s stat
+/// shards).
+#[repr(align(128))]
+#[derive(Default)]
+struct ClockShard {
+    lock: AtomicU64,
+}
+
+/// The sharded commit clock: `2^k` sequence locks plus the
+/// abort-attribution committer stamp shared by the shard family.
+pub struct ShardedClock {
+    shards: Box<[ClockShard]>,
+    mask: usize,
+    /// Monotone write-back epoch: bumped once per commit, after the
+    /// commit holds all of its shard locks and strictly before its first
+    /// data store. Readers use it as an O(1) filter — a validated
+    /// snapshot saw every shard even (no write-back in progress), and
+    /// any later write-back must bump this counter first, so "epoch
+    /// unchanged" proves the heap is still in the snapshot's state and
+    /// the O(shards) vector scan (and any entry re-checks) can be
+    /// skipped. The counter never moves backwards.
+    epoch: ClockShard,
+    /// Most recent committer's thread token, stamped under *all* of the
+    /// commit's shard locks and only at `TelemetryLevel::Spans` — same
+    /// heuristic as `NorecGlobal::committer`.
+    committer: AtomicU64,
+}
+
+impl ShardedClock {
+    /// Create a clock with at least `count` shards (rounded up to a
+    /// power of two; `count = 1` is allowed and yields plain NOrec).
+    pub fn new(count: usize) -> ShardedClock {
+        let n = count.max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, ClockShard::default);
+        ShardedClock {
+            shards: v.into_boxed_slice(),
+            mask: n - 1,
+            epoch: ClockShard::default(),
+            committer: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the clock has no shards (never true; for lint symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard covering heap address `a`. Line granularity: all
+    /// [`LINE_WORDS`] words of one cache line share a shard, so padded
+    /// allocations ([`crate::heap::Heap::alloc_padded`]) also get
+    /// per-node shard words.
+    #[inline]
+    pub fn shard_of(&self, a: Addr) -> usize {
+        (a.index() / LINE_WORDS) & self.mask
+    }
+
+    /// Snapshot shard `s`'s sequence word.
+    #[inline]
+    pub fn load(&self, s: usize) -> u64 {
+        self.shards[s].lock.load(Ordering::SeqCst)
+    }
+
+    /// Current write-back epoch (see the field docs). A reader holding a
+    /// validated all-even snapshot who observes the epoch unchanged
+    /// across a heap load knows the load is consistent with that
+    /// snapshot: any intervening write-back would have bumped the epoch
+    /// first.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.lock.load(Ordering::SeqCst)
+    }
+
+    /// Advance the write-back epoch. Committers call this exactly once,
+    /// after acquiring every write shard and before the first data
+    /// store; failed acquisitions that roll back never touch it.
+    #[inline]
+    pub fn bump_epoch(&self) {
+        self.epoch.lock.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Try to swing shard `s` from the even value `expected_even` to the
+    /// odd (locked) value `expected_even + 1`.
+    #[inline]
+    pub fn try_acquire(&self, s: usize, expected_even: u64) -> bool {
+        debug_assert_eq!(expected_even & 1, 0);
+        self.shards[s]
+            .lock
+            .compare_exchange(
+                expected_even,
+                expected_even + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    /// Store an even value into shard `s`: `snapshot + 2` after a
+    /// committed write-back, or the pre-acquire `snapshot` to roll back
+    /// a failed multi-shard acquisition (sound because rollback happens
+    /// before any data write-back under this shard).
+    #[inline]
+    pub fn release(&self, s: usize, new_even: u64) {
+        debug_assert_eq!(new_even & 1, 0);
+        self.shards[s].lock.store(new_even, Ordering::SeqCst);
+    }
+
+    /// Stamp the committer token (flight-recorder attribution; called
+    /// only under the commit's shard locks at `TelemetryLevel::Spans`).
+    #[inline]
+    pub fn stamp_committer(&self, token: u64) {
+        self.committer.store(token, Ordering::Relaxed);
+    }
+
+    /// The most recent stamped committer (0 = never stamped).
+    #[inline]
+    pub fn committer(&self) -> u64 {
+        self.committer.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        assert_eq!(ShardedClock::new(1).len(), 1);
+        assert_eq!(ShardedClock::new(5).len(), 8);
+        assert_eq!(ShardedClock::new(8).len(), 8);
+    }
+
+    #[test]
+    fn shard_mapping_is_line_granular() {
+        let c = ShardedClock::new(4);
+        // All words of line 0 share shard 0.
+        for i in 0..LINE_WORDS {
+            assert_eq!(c.shard_of(Addr(i as u32)), 0);
+        }
+        // Consecutive lines rotate through the shards.
+        assert_eq!(c.shard_of(Addr(LINE_WORDS as u32)), 1);
+        assert_eq!(c.shard_of(Addr((4 * LINE_WORDS) as u32)), 0);
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let c = ShardedClock::new(1);
+        assert_eq!(c.shard_of(Addr(0)), 0);
+        assert_eq!(c.shard_of(Addr(12345)), 0);
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let c = ShardedClock::new(2);
+        assert_eq!(c.load(0), 0);
+        assert!(c.try_acquire(0, 0));
+        assert_eq!(c.load(0), 1, "odd while held");
+        assert!(!c.try_acquire(0, 0), "second acquire fails");
+        assert_eq!(c.load(1), 0, "other shard untouched");
+        c.release(0, 2);
+        assert_eq!(c.load(0), 2);
+        // Rollback path: acquire then restore the pre-acquire value.
+        assert!(c.try_acquire(0, 2));
+        c.release(0, 2);
+        assert_eq!(c.load(0), 2);
+    }
+
+    #[test]
+    fn epoch_is_explicit_and_monotone() {
+        let c = ShardedClock::new(2);
+        assert_eq!(c.epoch(), 0);
+        assert!(c.try_acquire(0, 0));
+        assert_eq!(c.epoch(), 0, "acquisition alone does not move it");
+        c.bump_epoch();
+        assert_eq!(c.epoch(), 1, "committer bumps before write-back");
+        c.release(0, 2);
+        assert_eq!(c.epoch(), 1);
+        c.bump_epoch();
+        assert_eq!(c.epoch(), 2);
+    }
+
+    #[test]
+    fn shards_are_line_padded() {
+        assert_eq!(std::mem::size_of::<ClockShard>(), 128);
+        assert_eq!(std::mem::align_of::<ClockShard>(), 128);
+    }
+}

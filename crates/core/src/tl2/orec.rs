@@ -10,7 +10,15 @@
 //! orecs stripes the heap; distinct hot words in small structures get
 //! distinct orecs, while unrelated words may alias (false conflicts are
 //! allowed — they only cost precision, not safety).
+//!
+//! Like the heap's word array, the table is base-aligned to a 128-byte
+//! cache line (over-allocate one line, index at a runtime offset — the
+//! crate forbids `unsafe`, so no aligned-allocation tricks). Orec 0 then
+//! starts a line, and together with [`crate::heap::Heap::alloc_padded`]
+//! this keeps the orecs of unrelated padded nodes [`LINE_WORDS`] indices —
+//! a full line — apart instead of packed into the same one.
 
+use crate::heap::{LINE_BYTES, LINE_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An orec word value (snapshot of the atomic).
@@ -59,19 +67,27 @@ impl OrecWord {
 
 /// The shared orec table.
 pub struct OrecTable {
+    /// Backing store, over-allocated by `LINE_WORDS - 1`; orec `i` lives
+    /// at `orecs[base + i]`.
     orecs: Box<[AtomicU64]>,
+    /// Offset of orec 0, chosen so it starts a 128-byte line.
+    base: usize,
     mask: usize,
 }
 
 impl OrecTable {
     /// Create a table with at least `count` orecs (rounded up to a power
-    /// of two).
+    /// of two), orec 0 cache-line-aligned.
     pub fn new(count: usize) -> OrecTable {
         let n = count.max(2).next_power_of_two();
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU64::new(0));
+        let mut v = Vec::with_capacity(n + LINE_WORDS - 1);
+        v.resize_with(n + LINE_WORDS - 1, || AtomicU64::new(0));
+        let orecs = v.into_boxed_slice();
+        let addr = orecs.as_ptr() as usize;
+        let base = (LINE_BYTES - (addr % LINE_BYTES)) % LINE_BYTES / 8;
         OrecTable {
-            orecs: v.into_boxed_slice(),
+            orecs,
+            base,
             mask: n - 1,
         }
     }
@@ -85,7 +101,7 @@ impl OrecTable {
     /// Snapshot orec `i`.
     #[inline]
     pub fn load(&self, i: usize) -> OrecWord {
-        OrecWord(self.orecs[i].load(Ordering::SeqCst))
+        OrecWord(self.orecs[self.base + i].load(Ordering::SeqCst))
     }
 
     /// Try to swing orec `i` from the unlocked word `expected` to locked
@@ -93,7 +109,7 @@ impl OrecTable {
     #[inline]
     pub fn try_lock(&self, i: usize, expected: OrecWord, owner: u64) -> bool {
         debug_assert!(!expected.is_locked());
-        self.orecs[i]
+        self.orecs[self.base + i]
             .compare_exchange(
                 expected.0,
                 OrecWord::locked(owner).0,
@@ -107,20 +123,20 @@ impl OrecTable {
     /// or roll back to the pre-lock word after a failed commit).
     #[inline]
     pub fn store(&self, i: usize, word: OrecWord) {
-        self.orecs[i].store(word.0, Ordering::SeqCst);
+        self.orecs[self.base + i].store(word.0, Ordering::SeqCst);
     }
 
     /// Number of orecs in the table.
     #[inline]
     pub fn len(&self) -> usize {
-        self.orecs.len()
+        self.mask + 1
     }
 
     /// Whether the table is empty (never true in practice; for lint
     /// symmetry with `len`).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.orecs.is_empty()
+        false
     }
 }
 
@@ -147,6 +163,13 @@ mod tests {
         assert_eq!(t.index_of(128), 0);
         assert_eq!(t.index_of(129), 1);
         assert_eq!(t.index_of(127), 127);
+    }
+
+    #[test]
+    fn orec_zero_is_line_aligned() {
+        let t = OrecTable::new(64);
+        let addr = t.orecs[t.base..].as_ptr() as usize;
+        assert_eq!(addr % LINE_BYTES, 0, "orec 0 not on a 128-byte boundary");
     }
 
     #[test]

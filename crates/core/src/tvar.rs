@@ -96,10 +96,15 @@ impl<T: Word> TVar<T> {
     }
 }
 
-/// A typed contiguous block of transactional words.
+/// A typed block of transactional words: contiguous by default, or
+/// line-striped (one cache line per element) via [`TArray::new_striped`].
 pub struct TArray<T: Word> {
     base: Addr,
     len: usize,
+    /// Word distance between consecutive elements (1 = contiguous,
+    /// [`crate::heap::LINE_WORDS`] = one cache line — and therefore one
+    /// commit-clock shard — per element).
+    stride: usize,
     _t: PhantomData<T>,
 }
 
@@ -116,8 +121,35 @@ impl<T: Word> TArray<T> {
         TArray {
             base: stm.alloc_array(len, init),
             len,
+            stride: 1,
             _t: PhantomData,
         }
+    }
+
+    /// Allocate a line-striped array: each element sits on its own cache
+    /// line, so no two elements share a line (no false sharing between
+    /// them) and, under a sharded commit clock, no two elements share a
+    /// clock-shard word gratuitously. Costs
+    /// `len × `[`crate::heap::LINE_WORDS`] heap words instead of `len`.
+    pub fn new_striped(stm: &Stm, len: usize, init: T) -> TArray<T> {
+        let stride = crate::heap::LINE_WORDS;
+        let base = stm.alloc_padded(len.max(1) * stride);
+        let arr = TArray {
+            base,
+            len,
+            stride,
+            _t: PhantomData,
+        };
+        for i in 0..len {
+            stm.write_now(arr.addr(i), init.to_word());
+        }
+        arr
+    }
+
+    /// Word distance between consecutive elements.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Element count.
@@ -140,7 +172,7 @@ impl<T: Word> TArray<T> {
             "TArray index {i} out of bounds ({})",
             self.len
         );
-        self.base.offset(i)
+        self.base.offset(i * self.stride)
     }
 
     /// The element as a [`TVar`].
@@ -245,6 +277,28 @@ mod tests {
             Ok(hits)
         });
         assert_eq!(found, 4);
+    }
+
+    #[test]
+    fn striped_array_spaces_elements_one_line_apart() {
+        let s = stm();
+        let arr = TArray::new_striped(&s, 4, 7i64);
+        assert_eq!(arr.stride(), crate::heap::LINE_WORDS);
+        for i in 0..arr.len() {
+            assert_eq!(arr.read_now(&s, i), 7, "init reaches element {i}");
+            assert_eq!(
+                arr.addr(i).index() % crate::heap::LINE_WORDS,
+                0,
+                "element {i} must start a line"
+            );
+        }
+        assert_eq!(
+            arr.addr(1).index() - arr.addr(0).index(),
+            crate::heap::LINE_WORDS
+        );
+        s.atomic(|tx| arr.inc(tx, 2, 5));
+        assert_eq!(arr.read_now(&s, 2), 12);
+        assert_eq!(arr.read_now(&s, 1), 7, "neighbours untouched");
     }
 
     #[test]

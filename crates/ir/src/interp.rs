@@ -21,6 +21,7 @@
 //! + S-NOrec.
 
 use crate::ir::{BlockId, Function, Inst, Operand};
+use crate::lower::{LoweredFunction, Op};
 use semtm_core::{Abort, Addr, Stm, Tx};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -405,6 +406,265 @@ enum RegionExit {
     Error(ExecError),
 }
 
+enum LoweredExit {
+    At(usize),
+    Error(ExecError),
+}
+
+impl<'a> Interp<'a> {
+    /// Run a pre-lowered `func` with `args` — the threaded-dispatch
+    /// twin of [`Interp::execute`].
+    ///
+    /// Observationally identical to executing the source function (same
+    /// return value, same heap effects, same barrier dispatches — the
+    /// differential oracle checks all three on every backend), but each
+    /// step is one pc-indexed op fetch and one match: no
+    /// `blocks[block].insts[idx]` double indirection, no end-of-block
+    /// test, and an atomic-region retry resets a single pc. This is the
+    /// execution mode the Figure-2 "GCC" experiments use, so the
+    /// interpreter tax they measure is dispatch into the TM runtime,
+    /// not tree-walking overhead.
+    pub fn execute_lowered(
+        &self,
+        func: &LoweredFunction,
+        args: &[i64],
+    ) -> Result<Option<i64>, ExecError> {
+        assert_eq!(args.len(), func.num_args as usize, "arity mismatch");
+        let mut regs = vec![0i64; func.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut steps = 0u64;
+        let mut pc = 0usize;
+        let val = |o: Operand, regs: &[i64]| Self::operand(regs, o);
+        loop {
+            let Some(op) = func.ops.get(pc) else {
+                return Err(ExecError::FellThrough);
+            };
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            if matches!(op, Op::TmBegin) {
+                // Same retry protocol as `execute`: the region re-runs
+                // from its entry pc with the registers captured at
+                // `tmbegin`, under contention-manager backoff.
+                let entry_regs = regs.clone();
+                let entry_pc = pc + 1;
+                let mut steps_in_region = 0u64;
+                let mut backoff =
+                    semtm_core::util::Backoff::new(semtm_core::util::thread_token(), 16, 4096);
+                let mut attempt = 0u32;
+                let next_pc = loop {
+                    let mut exec_err: Option<ExecError> = None;
+                    let mut r = entry_regs.clone();
+                    let out = self.stm.try_atomic(|tx| {
+                        self.counters
+                            .region_attempts
+                            .fetch_add(1, Ordering::Relaxed);
+                        match self.run_region_lowered(
+                            func,
+                            tx,
+                            &mut r,
+                            entry_pc,
+                            &mut steps_in_region,
+                        )? {
+                            LoweredExit::At(p) => Ok(p),
+                            LoweredExit::Error(e) => {
+                                exec_err = Some(e);
+                                Err(Abort::explicit())
+                            }
+                        }
+                    });
+                    match out {
+                        Ok(p) => {
+                            regs = r;
+                            break p;
+                        }
+                        Err(_) => {
+                            if let Some(e) = exec_err {
+                                return Err(e);
+                            }
+                            backoff.pause(attempt);
+                            semtm_core::sched::spin();
+                            attempt = attempt.saturating_add(1);
+                        }
+                    }
+                };
+                steps += steps_in_region;
+                if steps > self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                pc = next_pc;
+                continue;
+            }
+            match *op {
+                Op::Mov { dst, src } => regs[dst as usize] = val(src, &regs),
+                Op::Bin { op, dst, a, b } => {
+                    regs[dst as usize] = op.eval(val(a, &regs), val(b, &regs));
+                }
+                Op::Cmp { op, dst, a, b } => {
+                    regs[dst as usize] = op.eval(val(a, &regs), val(b, &regs)) as i64;
+                }
+                Op::Not { dst, src } => regs[dst as usize] = (val(src, &regs) == 0) as i64,
+                Op::TmLoad { dst, addr } => {
+                    regs[dst as usize] = self.stm.read_now(Self::addr(val(addr, &regs))?);
+                }
+                Op::TmStore { addr, val: v } => {
+                    self.stm
+                        .write_now(Self::addr(val(addr, &regs))?, val(v, &regs));
+                }
+                Op::TmCmpVal {
+                    op,
+                    dst,
+                    addr,
+                    val: v,
+                } => {
+                    let lhs = self.stm.read_now(Self::addr(val(addr, &regs))?);
+                    regs[dst as usize] = op.eval(lhs, val(v, &regs)) as i64;
+                }
+                Op::TmCmpAddr { op, dst, a, b } => {
+                    let lhs = self.stm.read_now(Self::addr(val(a, &regs))?);
+                    let rhs = self.stm.read_now(Self::addr(val(b, &regs))?);
+                    regs[dst as usize] = op.eval(lhs, rhs) as i64;
+                }
+                Op::TmInc {
+                    addr,
+                    delta,
+                    negate,
+                } => {
+                    let a = Self::addr(val(addr, &regs))?;
+                    let d = val(delta, &regs);
+                    let d = if negate { -d } else { d };
+                    self.stm.write_now(a, self.stm.read_now(a).wrapping_add(d));
+                }
+                Op::Jump { pc: target } => {
+                    pc = target;
+                    continue;
+                }
+                Op::JumpIf {
+                    cond,
+                    then_pc,
+                    else_pc,
+                } => {
+                    pc = if val(cond, &regs) != 0 {
+                        then_pc
+                    } else {
+                        else_pc
+                    };
+                    continue;
+                }
+                Op::Ret { val: v } => return Ok(v.map(|o| val(o, &regs))),
+                Op::TmEnd => return Err(ExecError::UnbalancedEnd),
+                Op::TmBegin => unreachable!("handled above"),
+            }
+            pc += 1;
+        }
+    }
+
+    /// Execute one atomic region of a lowered function from `pc` to its
+    /// matching `tmend`, issuing TM barriers through `tx`.
+    fn run_region_lowered(
+        &self,
+        func: &LoweredFunction,
+        tx: &mut Tx<'_>,
+        regs: &mut [i64],
+        mut pc: usize,
+        steps: &mut u64,
+    ) -> Result<LoweredExit, Abort> {
+        let mut depth = 1u32;
+        let val = |o: Operand, regs: &[i64]| Self::operand(regs, o);
+        let addr_of = |v: i64| -> Result<Addr, Abort> {
+            if v < 0 {
+                // Negative address: treated as a failed attempt, same as
+                // the tree-walker's transactional step.
+                Err(Abort::explicit())
+            } else {
+                Ok(Addr::from_index(v as usize))
+            }
+        };
+        loop {
+            let Some(op) = func.ops.get(pc) else {
+                return Ok(LoweredExit::Error(ExecError::FellThrough));
+            };
+            *steps += 1;
+            if *steps > self.step_limit {
+                return Ok(LoweredExit::Error(ExecError::StepLimit));
+            }
+            match *op {
+                Op::TmBegin => {
+                    // Flattened nesting, as in GCC's TM runtime.
+                    depth += 1;
+                }
+                Op::TmEnd => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(LoweredExit::At(pc + 1));
+                    }
+                }
+                Op::Mov { dst, src } => regs[dst as usize] = val(src, regs),
+                Op::Bin { op, dst, a, b } => {
+                    regs[dst as usize] = op.eval(val(a, regs), val(b, regs));
+                }
+                Op::Cmp { op, dst, a, b } => {
+                    regs[dst as usize] = op.eval(val(a, regs), val(b, regs)) as i64;
+                }
+                Op::Not { dst, src } => regs[dst as usize] = (val(src, regs) == 0) as i64,
+                Op::TmLoad { dst, addr } => {
+                    self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+                    regs[dst as usize] = tx.read(addr_of(val(addr, regs))?)?;
+                }
+                Op::TmStore { addr, val: v } => {
+                    self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+                    tx.write(addr_of(val(addr, regs))?, val(v, regs))?;
+                }
+                Op::TmCmpVal {
+                    op,
+                    dst,
+                    addr,
+                    val: v,
+                } => {
+                    self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+                    regs[dst as usize] =
+                        tx.cmp(addr_of(val(addr, regs))?, op, val(v, regs))? as i64;
+                }
+                Op::TmCmpAddr { op, dst, a, b } => {
+                    self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+                    regs[dst as usize] =
+                        tx.cmp_addr(addr_of(val(a, regs))?, op, addr_of(val(b, regs))?)? as i64;
+                }
+                Op::TmInc {
+                    addr,
+                    delta,
+                    negate,
+                } => {
+                    self.counters.tm_calls.fetch_add(1, Ordering::Relaxed);
+                    let d = val(delta, regs);
+                    tx.inc(addr_of(val(addr, regs))?, if negate { -d } else { d })?;
+                }
+                Op::Jump { pc: target } => {
+                    pc = target;
+                    continue;
+                }
+                Op::JumpIf {
+                    cond,
+                    then_pc,
+                    else_pc,
+                } => {
+                    pc = if val(cond, regs) != 0 {
+                        then_pc
+                    } else {
+                        else_pc
+                    };
+                    continue;
+                }
+                Op::Ret { .. } => {
+                    return Ok(LoweredExit::Error(ExecError::UnbalancedEnd));
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +811,103 @@ mod tests {
         let s = stm(Algorithm::NOrec);
         let interp = Interp::new(&s);
         assert_eq!(interp.execute(&f, &[]), Err(ExecError::UnbalancedEnd));
+    }
+
+    #[test]
+    fn lowered_execution_matches_tree_walker() {
+        for alg in Algorithm::ALL {
+            for passes in [false, true] {
+                let mut f = inc_if_positive();
+                if passes {
+                    run_tm_passes(&mut f);
+                }
+                let lowered = crate::lower::lower(&f).unwrap();
+
+                let s_tree = stm(alg);
+                let x_tree = s_tree.alloc_cell(5i64);
+                let tree = Interp::new(&s_tree);
+                let tree_out = tree.execute(&f, &[x_tree.index() as i64]).unwrap();
+
+                let s_flat = stm(alg);
+                let x_flat = s_flat.alloc_cell(5i64);
+                let flat = Interp::new(&s_flat);
+                let flat_out = flat
+                    .execute_lowered(&lowered, &[x_flat.index() as i64])
+                    .unwrap();
+
+                assert_eq!(tree_out, flat_out, "{alg} passes={passes}");
+                assert_eq!(
+                    s_tree.read_now(x_tree),
+                    s_flat.read_now(x_flat),
+                    "{alg} passes={passes}"
+                );
+                // Dispatch accounting must be identical too: lowering
+                // changes how ops are fetched, never how many barriers
+                // are issued.
+                assert_eq!(
+                    tree.counters.tm_calls(),
+                    flat.counters.tm_calls(),
+                    "{alg} passes={passes}"
+                );
+                assert_eq!(
+                    tree.counters.region_attempts(),
+                    flat.counters.region_attempts(),
+                    "{alg} passes={passes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_step_limit_catches_infinite_loops() {
+        let mut fb = FunctionBuilder::new("spin", 0);
+        fb.push(Inst::Br { target: 0 });
+        let lowered = crate::lower::lower(&fb.build()).unwrap();
+        let s = stm(Algorithm::NOrec);
+        let mut interp = Interp::new(&s);
+        interp.step_limit = 1000;
+        assert_eq!(
+            interp.execute_lowered(&lowered, &[]),
+            Err(ExecError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn lowered_unbalanced_tmend_reports_error() {
+        let mut fb = FunctionBuilder::new("bad", 0);
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret { val: None });
+        let lowered = crate::lower::lower(&fb.build()).unwrap();
+        let s = stm(Algorithm::NOrec);
+        let interp = Interp::new(&s);
+        assert_eq!(
+            interp.execute_lowered(&lowered, &[]),
+            Err(ExecError::UnbalancedEnd)
+        );
+    }
+
+    #[test]
+    fn lowered_concurrent_increments_are_atomic() {
+        let s = stm(Algorithm::SNOrec);
+        let x = s.alloc_cell(1i64);
+        let mut f = inc_if_positive();
+        run_tm_passes(&mut f);
+        let lowered = crate::lower::lower(&f).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                let lowered = &lowered;
+                scope.spawn(move || {
+                    let interp = Interp::new(s);
+                    for _ in 0..100 {
+                        interp
+                            .execute_lowered(lowered, &[x.index() as i64])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.read_now(x), 1 + 400);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`abi`] — the Table 2 ABI mapping;
 //! * [`interp`] — a transactional interpreter executing IR against a
 //!   [`semtm_core::Stm`], with per-barrier dispatch accounting;
+//! * [`lower`] — flat threaded-dispatch lowering: block-structured
+//!   functions become pc-indexed op arrays so the Figure-2 "GCC mode"
+//!   experiments stop paying tree-walking overhead per instruction;
 //! * [`programs`] — the Figure-2 kernels (hashtable, vacation, bank,
 //!   cross-block guard) written in classical TM style for the passes to
 //!   transform, checked in as `programs/*.ir`;
@@ -38,6 +41,7 @@ pub mod analysis;
 pub mod interp;
 pub mod ir;
 pub mod lint;
+pub mod lower;
 pub mod oracle;
 pub mod parser;
 pub mod passes;
@@ -48,6 +52,7 @@ pub use analysis::{verify, Cfg, Liveness, ReachingDefs, VerifyError};
 pub use interp::{ExecError, Interp};
 pub use ir::{Block, BlockId, Function, FunctionBuilder, Inst, Operand, Reg};
 pub use lint::{lint_function, Diagnostic, Severity};
+pub use lower::{lower, LoweredFunction, Op};
 pub use oracle::{run_differential_oracle, DiffReport, OracleError};
 pub use parser::{parse_function, parse_function_spanned, ParseError, SourceMap, Span};
 pub use passes::{run_tm_passes, run_tm_passes_checked, tm_mark, tm_optimize, PassReport};

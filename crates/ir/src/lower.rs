@@ -1,0 +1,344 @@
+//! Flat threaded-dispatch lowering of [`Function`]s.
+//!
+//! The tree-walking interpreter ([`crate::interp::Interp::execute`])
+//! pays a structural tax on every instruction: a nested
+//! `blocks[block].insts[idx]` lookup (two bounds checks and a pointer
+//! chase), an end-of-block test, and a branch resets both coordinates.
+//! GCC-compiled code pays none of that — it is a flat instruction
+//! stream with branch targets resolved to absolute addresses. This
+//! module closes that fidelity gap for the Figure-2 "GCC mode"
+//! experiments:
+//!
+//! * [`lower`] flattens a validated function into a single pc-indexed
+//!   [`Op`] array, concatenating the blocks in order and rewriting every
+//!   `Br`/`CondBr` block target into an absolute pc;
+//! * [`crate::interp::Interp::execute_lowered`] drives the array with
+//!   one op fetch and one match per step — no block indirection, and an
+//!   atomic region re-runs from a retry by resetting a single pc.
+//!
+//! Lowering is purely structural: the op sequence executed, the TM
+//! barriers issued, and therefore the dispatch counters are identical
+//! to the tree-walker's, which the differential oracle
+//! ([`crate::oracle`]) checks on every backend. Lowering requires a
+//! function that passes [`Function::validate`]; in a valid function
+//! every block ends in a terminator, so flat execution can never fall
+//! off the end of one block into the next.
+
+use crate::ir::{BinOp, Function, Inst, Operand, Reg};
+use semtm_core::CmpOp;
+
+/// One flat op: the [`Inst`] repertoire with branch targets resolved to
+/// absolute pc indices.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a <relation> b)` as 0/1.
+    Cmp {
+        /// Relation.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = !src` (logical, 0/1).
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Transactional load `dst = *addr`.
+    TmLoad {
+        /// Destination register.
+        dst: Reg,
+        /// Heap word index.
+        addr: Operand,
+    },
+    /// Transactional store `*addr = val`.
+    TmStore {
+        /// Heap word index.
+        addr: Operand,
+        /// Stored value.
+        val: Operand,
+    },
+    /// Semantic builtin `_ITM_S1R`: `dst = (*addr <relation> val)`.
+    TmCmpVal {
+        /// Relation.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Heap word index (left side).
+        addr: Operand,
+        /// Constant/local right side.
+        val: Operand,
+    },
+    /// Semantic builtin `_ITM_S2R`: `dst = (*a <relation> *b)`.
+    TmCmpAddr {
+        /// Relation.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left heap word index.
+        a: Operand,
+        /// Right heap word index.
+        b: Operand,
+    },
+    /// Semantic builtin `_ITM_SW`: `*addr += delta` (or `-=` when
+    /// `negate`).
+    TmInc {
+        /// Heap word index.
+        addr: Operand,
+        /// Delta operand.
+        delta: Operand,
+        /// Subtract instead of add.
+        negate: bool,
+    },
+    /// Unconditional jump to an absolute pc.
+    Jump {
+        /// Target pc.
+        pc: usize,
+    },
+    /// Conditional jump on `cond != 0`, both targets absolute pcs.
+    JumpIf {
+        /// Condition operand.
+        cond: Operand,
+        /// Pc when nonzero.
+        then_pc: usize,
+        /// Pc when zero.
+        else_pc: usize,
+    },
+    /// Return from the function.
+    Ret {
+        /// Optional return value.
+        val: Option<Operand>,
+    },
+    /// Open an atomic region.
+    TmBegin,
+    /// Close the innermost atomic region.
+    TmEnd,
+}
+
+/// A function lowered to a flat op array; produced by [`lower`], run by
+/// [`crate::interp::Interp::execute_lowered`].
+#[derive(Clone, Debug)]
+pub struct LoweredFunction {
+    /// Source function name.
+    pub name: String,
+    /// Number of arguments (pre-loaded into the low registers).
+    pub num_args: u32,
+    /// Total registers used.
+    pub num_regs: u32,
+    /// The flat op stream; entry is pc 0. Private so that every
+    /// `LoweredFunction` went through [`lower`]'s validation.
+    pub(crate) ops: Vec<Op>,
+}
+
+impl LoweredFunction {
+    /// The flat op stream.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops (equals the source function's instruction count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the op stream is empty (never true for a valid source —
+    /// validation requires a terminator in the entry block).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Flatten `func` into a [`LoweredFunction`].
+///
+/// Runs [`Function::validate`] first and refuses invalid input — the
+/// flat representation has no block boundaries left to catch a missing
+/// terminator at run time.
+pub fn lower(func: &Function) -> Result<LoweredFunction, String> {
+    func.validate()?;
+    let mut starts = Vec::with_capacity(func.blocks.len());
+    let mut pc = 0usize;
+    for b in &func.blocks {
+        starts.push(pc);
+        pc += b.insts.len();
+    }
+    let mut ops = Vec::with_capacity(pc);
+    for b in &func.blocks {
+        for inst in &b.insts {
+            ops.push(match *inst {
+                Inst::Mov { dst, src } => Op::Mov { dst, src },
+                Inst::Bin { op, dst, a, b } => Op::Bin { op, dst, a, b },
+                Inst::Cmp { op, dst, a, b } => Op::Cmp { op, dst, a, b },
+                Inst::Not { dst, src } => Op::Not { dst, src },
+                Inst::TmLoad { dst, addr } => Op::TmLoad { dst, addr },
+                Inst::TmStore { addr, val } => Op::TmStore { addr, val },
+                Inst::TmCmpVal { op, dst, addr, val } => Op::TmCmpVal { op, dst, addr, val },
+                Inst::TmCmpAddr { op, dst, a, b } => Op::TmCmpAddr { op, dst, a, b },
+                Inst::TmInc {
+                    addr,
+                    delta,
+                    negate,
+                } => Op::TmInc {
+                    addr,
+                    delta,
+                    negate,
+                },
+                Inst::Br { target } => Op::Jump { pc: starts[target] },
+                Inst::CondBr {
+                    cond,
+                    then_to,
+                    else_to,
+                } => Op::JumpIf {
+                    cond,
+                    then_pc: starts[then_to],
+                    else_pc: starts[else_to],
+                },
+                Inst::Ret { val } => Op::Ret { val },
+                Inst::TmBegin => Op::TmBegin,
+                Inst::TmEnd => Op::TmEnd,
+            });
+        }
+    }
+    Ok(LoweredFunction {
+        name: func.name.clone(),
+        num_args: func.num_args,
+        num_regs: func.num_regs,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, FunctionBuilder};
+
+    fn loopy() -> Function {
+        // entry: r1 = 0; br body
+        // body:  r1 = r1 + 1; condbr (r1 < r0) body, done
+        // done:  ret r1
+        let mut fb = FunctionBuilder::new("loopy", 1);
+        let i = fb.reg();
+        let c = fb.reg();
+        let body = fb.block("body");
+        let done = fb.block("done");
+        fb.switch_to(0);
+        fb.push(Inst::Mov {
+            dst: i,
+            src: Operand::Imm(0),
+        });
+        fb.push(Inst::Br { target: body });
+        fb.switch_to(body);
+        fb.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: i,
+            a: Operand::Reg(i),
+            b: Operand::Imm(1),
+        });
+        fb.push(Inst::Cmp {
+            op: CmpOp::Lt,
+            dst: c,
+            a: Operand::Reg(i),
+            b: Operand::Reg(0),
+        });
+        fb.push(Inst::CondBr {
+            cond: Operand::Reg(c),
+            then_to: body,
+            else_to: done,
+        });
+        fb.switch_to(done);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(i)),
+        });
+        fb.build()
+    }
+
+    #[test]
+    fn lowering_concatenates_blocks_and_resolves_targets() {
+        let f = loopy();
+        let l = lower(&f).unwrap();
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.num_regs, f.num_regs);
+        // entry starts at 0, body at 2, done at 5.
+        assert_eq!(l.ops()[1], Op::Jump { pc: 2 });
+        match l.ops()[4] {
+            Op::JumpIf {
+                then_pc, else_pc, ..
+            } => {
+                assert_eq!(then_pc, 2, "back-edge to body");
+                assert_eq!(else_pc, 5, "exit to done");
+            }
+            ref other => panic!("expected JumpIf, got {other:?}"),
+        }
+        assert!(matches!(l.ops()[5], Op::Ret { .. }));
+    }
+
+    #[test]
+    fn lowering_preserves_barrier_ops_verbatim() {
+        let mut fb = FunctionBuilder::new("b", 1);
+        let v = fb.reg();
+        fb.push(Inst::TmBegin);
+        fb.push(Inst::TmLoad {
+            dst: v,
+            addr: Operand::Reg(0),
+        });
+        fb.push(Inst::TmInc {
+            addr: Operand::Reg(0),
+            delta: Operand::Imm(3),
+            negate: true,
+        });
+        fb.push(Inst::TmEnd);
+        fb.push(Inst::Ret {
+            val: Some(Operand::Reg(v)),
+        });
+        let l = lower(&fb.build()).unwrap();
+        assert_eq!(
+            l.ops()[2],
+            Op::TmInc {
+                addr: Operand::Reg(0),
+                delta: Operand::Imm(3),
+                negate: true,
+            }
+        );
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn lowering_rejects_invalid_functions() {
+        let f = Function {
+            name: "bad".into(),
+            num_args: 0,
+            num_regs: 1,
+            blocks: vec![Block {
+                label: "entry".into(),
+                insts: vec![Inst::Mov {
+                    dst: 0,
+                    src: Operand::Imm(1),
+                }],
+            }],
+        };
+        let e = lower(&f).unwrap_err();
+        assert!(e.contains("terminator"), "{e}");
+    }
+}

@@ -4,11 +4,14 @@
 //! the promoted builtins are *observationally equivalent* to the
 //! classical barrier sequences they replace. This module tests exactly
 //! that, end to end: every builtin kernel in [`crate::programs`] is run
-//! through a scripted scenario eight ways — {original, after
-//! `tm_widen`+`tm_mark`+`tm_optimize`} × every [`Algorithm`] (NOrec,
-//! S-NOrec, TL2, S-TL2) — and the oracle asserts that all executions
-//! return identical results and leave identical heap state. Alongside
-//! the equivalence verdict it reports
+//! through a scripted scenario sixteen ways — {original, after
+//! `tm_widen`+`tm_mark`+`tm_optimize`} × {tree-walking
+//! [`Interp::execute`], flat [`Interp::execute_lowered`]} × every
+//! [`Algorithm`] (NOrec, S-NOrec, TL2, S-TL2) — and the oracle asserts
+//! that all executions return identical results and leave identical
+//! heap state. The dispatch dimension makes the oracle also the
+//! correctness gate for the threaded-dispatch lowering
+//! ([`crate::lower`]). Alongside the equivalence verdict it reports
 //! the barrier-count reduction the passes achieved (the paper's
 //! 2-calls→1 argument, aggregated per kernel).
 //!
@@ -43,7 +46,7 @@ impl std::fmt::Display for DiffReport {
         write!(
             f,
             "{}: {} -> {} barriers (widened {}, s1r {}, s2r {}, sw {}, loads removed {}), \
-             {} calls identical on all {} backends",
+             {} calls identical on all {} backend/dispatch configs",
             self.name,
             self.barriers_before,
             self.barriers_after,
@@ -53,7 +56,7 @@ impl std::fmt::Display for DiffReport {
             self.passes.sw,
             self.passes.loads_removed,
             self.calls,
-            Algorithm::ALL.len()
+            Algorithm::ALL.len() * 2
         )
     }
 }
@@ -122,25 +125,46 @@ fn stm(alg: Algorithm) -> Stm {
     Stm::new(StmConfig::new(alg).heap_words(1 << 12).orec_count(1 << 8))
 }
 
+/// How the scenario drives the kernel: the tree-walking interpreter or
+/// the flat threaded-dispatch array from [`crate::lower`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dispatch {
+    Tree,
+    Lowered,
+}
+
 /// Run the kernel's scripted scenario on a fresh heap under `alg` and
 /// return everything observable: each call's return value followed by a
 /// full dump of the touched heap cells. Two equivalent functions must
 /// produce byte-identical vectors.
-fn observe(func: &Function, alg: Algorithm) -> Result<(Vec<i64>, usize), OracleError> {
+fn observe(
+    func: &Function,
+    alg: Algorithm,
+    dispatch: Dispatch,
+) -> Result<(Vec<i64>, usize), OracleError> {
     let s = stm(alg);
     let interp = Interp::new(&s);
+    // `check_function` verified the function, so lowering cannot fail.
+    let lowered = match dispatch {
+        Dispatch::Tree => None,
+        Dispatch::Lowered => Some(crate::lower::lower(func).expect("verified function lowers")),
+    };
     let mut obs: Vec<i64> = Vec::new();
     let mut calls = 0usize;
     let mut call = |args: &[i64]| -> Result<(), OracleError> {
         calls += 1;
-        match interp.execute(func, args) {
+        let out = match &lowered {
+            None => interp.execute(func, args),
+            Some(l) => interp.execute_lowered(l, args),
+        };
+        match out {
             Ok(ret) => {
                 obs.push(ret.unwrap_or(i64::MIN));
                 Ok(())
             }
             Err(error) => Err(OracleError::Exec {
                 name: func.name.clone(),
-                config: format!("{alg:?}"),
+                config: format!("{dispatch:?}/{alg:?}"),
                 error,
             }),
         }
@@ -234,16 +258,19 @@ fn observe(func: &Function, alg: Algorithm) -> Result<(Vec<i64>, usize), OracleE
 }
 
 /// Differentially test one kernel: verify, transform, and compare all
-/// four {pipeline} × {algorithm} observation vectors.
+/// {pipeline} × {dispatch} × {algorithm} observation vectors.
 pub fn check_function(func: &Function) -> Result<DiffReport, OracleError> {
     let mut passed = func.clone();
     let passes = run_tm_passes_checked(&mut passed)?;
     let mut baseline: Option<(String, Vec<i64>)> = None;
     let mut calls = 0usize;
     for (label_fn, f) in [("original", func), ("passed", &passed)] {
-        for alg in Algorithm::ALL {
-            let label = format!("{label_fn}/{alg:?}");
-            let (obs, c) = observe(f, alg)?;
+        for (dispatch, alg) in [Dispatch::Tree, Dispatch::Lowered]
+            .into_iter()
+            .flat_map(|d| Algorithm::ALL.into_iter().map(move |a| (d, a)))
+        {
+            let label = format!("{label_fn}/{dispatch:?}/{alg:?}");
+            let (obs, c) = observe(f, alg, dispatch)?;
             calls = c;
             match &baseline {
                 None => baseline = Some((label, obs)),
@@ -341,8 +368,8 @@ mod tests {
         }
         // Compare observations directly (check_function transforms its
         // own clone, so feed the two variants through `observe`).
-        let (good_obs, _) = observe(&good, Algorithm::SNOrec).unwrap();
-        let (bad_obs, _) = observe(&bad, Algorithm::SNOrec).unwrap();
+        let (good_obs, _) = observe(&good, Algorithm::SNOrec, Dispatch::Tree).unwrap();
+        let (bad_obs, _) = observe(&bad, Algorithm::SNOrec, Dispatch::Tree).unwrap();
         assert_ne!(good_obs, bad_obs, "sabotage must be observable");
     }
 

@@ -41,6 +41,11 @@ pub struct HashtableConfig {
     pub get_pct: u32,
     /// Key universe size (keys are drawn from `1..=key_space`).
     pub key_space: u64,
+    /// Line-stripe both cell arrays ([`TArray::new_striped`]): one cell
+    /// per cache line, so probes over neighbouring cells never share a
+    /// line and, under a sharded commit clock, spread across shards.
+    /// Costs 16× the heap words.
+    pub padded: bool,
 }
 
 impl Default for HashtableConfig {
@@ -52,6 +57,7 @@ impl Default for HashtableConfig {
             ops_per_tx: 10,
             get_pct: 80,
             key_space: 1 << 14,
+            padded: false,
         }
     }
 }
@@ -71,9 +77,16 @@ impl Hashtable {
     /// inserted keys to lengthen probe chains.
     pub fn new(stm: &Stm, config: HashtableConfig) -> Hashtable {
         let cap = config.capacity.next_power_of_two();
+        let alloc = |init: i64| {
+            if config.padded {
+                TArray::new_striped(stm, cap, init)
+            } else {
+                TArray::new(stm, cap, init)
+            }
+        };
         let table = Hashtable {
-            states: TArray::new(stm, cap, FREE),
-            keys: TArray::new(stm, cap, 0),
+            states: alloc(FREE),
+            keys: alloc(0),
             mask: cap - 1,
             config,
         };
@@ -387,6 +400,33 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.reads, 0, "all probe reads must become compares");
         assert!(st.cmps_per_tx() > 10.0);
+    }
+
+    #[test]
+    fn padded_table_keeps_integrity_under_sharded_clock() {
+        // The ablation's "sharded+padded" cell: striped cell arrays on a
+        // 16-shard commit clock. Striping costs 16× heap, so the heap is
+        // sized at capacity × stride × 2 arrays plus slack.
+        for alg in [Algorithm::NOrec, Algorithm::SNOrec] {
+            let s = Stm::new(
+                StmConfig::new(alg)
+                    .heap_words(512 * 16 * 2 + 256)
+                    .orec_count(1 << 10)
+                    .clock_shards(16),
+            );
+            let r = run(
+                &s,
+                HashtableConfig {
+                    capacity: 512,
+                    padded: true,
+                    ..HashtableConfig::default()
+                },
+                4,
+                Duration::from_millis(80),
+                23,
+            );
+            assert!(r.total_ops > 0, "{alg}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn main() {
         ops_per_tx: 10,
         get_pct: 80,
         key_space: 1 << 12,
+        padded: false,
     };
     println!(
         "{} cells, {}% live, {}% tombstones, {} ops/tx\n",

@@ -17,11 +17,34 @@ echo "==> schedule-exploration smoke (semtm-check)"
 # algorithms, a few seconds); raise it for soak runs outside this gate.
 SEMTM_CHECK_ITERS="${SEMTM_CHECK_ITERS:-1000}" cargo test -q -p semtm-check
 
+echo "==> sharded-clock re-run (semtm-check, SEMTM_CLOCK_SHARDS=4)"
+# The whole deterministic suite again with the sharded commit clock
+# selected for every NOrec-family backend (DESIGN.md §8): DFS
+# exploration, opacity checking and the differential fuzzer all drive
+# the multi-shard acquire/epoch/write-back protocol. Smaller fuzz
+# budget — the first run already soaked the global-clock engines.
+SEMTM_CLOCK_SHARDS=4 SEMTM_CHECK_ITERS="${SEMTM_SHARDED_ITERS:-200}" \
+  cargo test -q -p semtm-check
+
 echo "==> trace-export smoke (figures -- trace)"
 # Tiny skewed-Bank sweep under the flight recorder; the harness
 # schema-validates its own Chrome trace JSON (one track and at least one
 # complete span per worker) and exits non-zero on any violation.
 cargo run --release -q -p semtm-bench --bin figures -- --smoke trace
+
+echo "==> layout/clock ablation smoke (figures -- ablation-layout)"
+# Smoke-scale A5 sweep (all four {clock}x{layout} variants on Bank +
+# contended hashtable). Runs in a scratch dir so the checked-in
+# paper-scale results/ablation_layout.csv is never clobbered; the
+# smoke CSV lands under results/check/ (gitignored, uploaded by CI).
+root="$PWD"
+tmp="$(mktemp -d)"
+(cd "$tmp" && cargo run --release -q --manifest-path "$root/Cargo.toml" \
+  -p semtm-bench --bin figures -- --smoke ablation-layout)
+mkdir -p results/check
+cp "$tmp/results/ablation_layout.csv" results/check/ablation_layout_smoke.csv
+rm -rf "$tmp"
+grep -q "sharded+padded" results/check/ablation_layout_smoke.csv
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
