@@ -33,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-cm",
     "ablation-ring",
     "ablation-layout",
+    "ablation-durability",
     "contention",
     "telemetry",
     "trace",
@@ -210,6 +211,14 @@ fn main() {
             "Ablation A5 — memory layout x commit clock (Bank + Hashtable, S-NOrec)",
             exp::ablation_layout_clock(&sweep),
             &[("S-NOrec/global+flat", "S-NOrec/sharded+padded")],
+        );
+    }
+    if pick("ablation-durability") {
+        emit(
+            "ablation_durability",
+            "Ablation A6 — durability cost: no-wal vs sync vs group commit (Bank, S-NOrec)",
+            exp::ablation_durability(&sweep),
+            &[("S-NOrec/no-wal", "S-NOrec/wal-group")],
         );
     }
     if pick("telemetry") {

@@ -532,6 +532,99 @@ pub fn ablation_layout_clock(sweep: &Sweep) -> Vec<FigureRow> {
     rows
 }
 
+/// Ablation A6 (DESIGN.md §9): what durability costs. Bank throughput
+/// under three configurations of the same engine — no WAL at all,
+/// WAL with a synchronous fsync per commit, and WAL with the
+/// group-commit flusher — plus recovery-throughput rows measuring how
+/// fast `replay` rebuilds a heap from the group-commit run's log.
+///
+/// The log lives in a real temp file (`FileStorage`), so the sync
+/// variant pays genuine per-commit fsync latency and the group variant
+/// shows what batch amortization buys back.
+pub fn ablation_durability(sweep: &Sweep) -> Vec<FigureRow> {
+    use semtm_core::wal::{read_records, replay, DurabilityMode, FileStorage};
+
+    let bank_cfg = bank::BankConfig {
+        accounts: sweep.pick(32, 64),
+        ..bank::BankConfig::default()
+    };
+    let heap_words = bank_cfg.accounts + 4 * semtm_core::heap::LINE_WORDS;
+    let base_cfg = || {
+        StmConfig::new(Algorithm::SNOrec)
+            .heap_words(heap_words)
+            .orec_count(1 << 14)
+    };
+    let variants: [(&str, Option<DurabilityMode>); 3] = [
+        ("no-wal", None),
+        ("wal-sync", Some(DurabilityMode::Sync)),
+        ("wal-group", Some(DurabilityMode::Group)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut group_log: Option<Vec<u8>> = None;
+    for (label, mode) in variants {
+        for &t in &sweep.threads {
+            let path = std::env::temp_dir().join(format!(
+                "semtm_ablation_durability_{}_{label}_{t}.wal",
+                std::process::id()
+            ));
+            let stm = match mode {
+                None => Stm::new(base_cfg()),
+                Some(m) => {
+                    let storage = FileStorage::create(&path).expect("create WAL temp file");
+                    Stm::with_wal(base_cfg().durability(m), Box::new(storage))
+                }
+            };
+            let r = bank::run(&stm, bank_cfg, t, sweep.duration, sweep.seed);
+            // Keep the largest group-commit log for the recovery rows.
+            if mode == Some(DurabilityMode::Group) && t == *sweep.threads.last().unwrap() {
+                drop(stm); // join the flusher; final batch lands
+                group_log = std::fs::read(&path).ok();
+            }
+            if mode.is_some() {
+                let _ = std::fs::remove_file(&path);
+            }
+            rows.push(FigureRow {
+                figure: "A6",
+                benchmark: "bank",
+                algorithm: format!("S-NOrec/{label}"),
+                threads: r.threads,
+                metric: "throughput_ktps",
+                value: r.throughput_ktps(),
+                abort_pct: r.abort_pct(),
+                commits: r.stats.commits,
+                aborts: r.stats.conflict_aborts(),
+            });
+        }
+    }
+
+    // Recovery throughput: replay the group-commit run's full log into a
+    // fresh heap and report records/s and MB/s.
+    let bytes = group_log.expect("group-commit run produced a log");
+    let (records, _, _) = read_records(&bytes);
+    let heap = semtm_core::Heap::new(heap_words);
+    let start = std::time::Instant::now();
+    let report = replay(&bytes, &heap);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    for (metric, value) in [
+        ("replay_krecs_per_s", report.records as f64 / secs / 1e3),
+        ("replay_mb_per_s", bytes.len() as f64 / secs / 1e6),
+    ] {
+        rows.push(FigureRow {
+            figure: "A6",
+            benchmark: "bank",
+            algorithm: "S-NOrec/recovery".to_string(),
+            threads: 1,
+            metric,
+            value,
+            abort_pct: 0.0,
+            commits: records.len() as u64,
+            aborts: 0,
+        });
+    }
+    rows
+}
+
 /// Telemetry deep-dive on the Bank workload: one fully-instrumented run
 /// per algorithm at the sweep's highest thread count, with the
 /// [`TelemetryLevel::Spans`] flight recorder enabled. Produces the JSON

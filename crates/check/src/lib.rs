@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod crash;
 pub mod fuzz;
 pub mod history;
 pub mod program;

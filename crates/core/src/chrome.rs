@@ -26,6 +26,7 @@ fn reason_color(reason: AbortReason) -> &'static str {
         AbortReason::Timeout => "terrible",
         AbortReason::LockAcquire => "olive",
         AbortReason::Explicit => "grey",
+        AbortReason::Durability => "black",
     }
 }
 

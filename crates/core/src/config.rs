@@ -2,6 +2,7 @@
 
 use crate::cm::CmPolicy;
 use crate::telemetry::TelemetryLevel;
+use crate::wal::DurabilityMode;
 
 /// Which STM algorithm a [`crate::Stm`] instance runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -118,6 +119,12 @@ pub struct StmConfig {
     /// histograms, the abort-event trace, and (at
     /// [`TelemetryLevel::Spans`]) the per-attempt flight recorder.
     pub telemetry: TelemetryLevel,
+    /// Flush discipline of the write-ahead commit log, when one is
+    /// attached via [`crate::Stm::with_wal`]. Ignored by [`crate::Stm::new`]
+    /// (no log, no durability — the classical in-memory STM). Default
+    /// [`DurabilityMode::Group`]: a dedicated thread batches fsyncs off
+    /// the commit path.
+    pub durability: DurabilityMode,
     /// Per-shard event-ring capacity (newest events retained). Governs
     /// the abort-event rings (allocated at [`TelemetryLevel::Trace`] and
     /// above) *and* the flight-recorder span rings (allocated at
@@ -150,6 +157,7 @@ impl StmConfig {
             clock_shards: 1,
             padded_alloc: false,
             telemetry: TelemetryLevel::Counters,
+            durability: DurabilityMode::Group,
             trace_capacity: 1024,
         }
     }
@@ -213,6 +221,13 @@ impl StmConfig {
     /// Builder-style telemetry-level override.
     pub fn telemetry(mut self, level: TelemetryLevel) -> StmConfig {
         self.telemetry = level;
+        self
+    }
+
+    /// Builder-style WAL flush-discipline override (takes effect only
+    /// with [`crate::Stm::with_wal`]).
+    pub fn durability(mut self, mode: DurabilityMode) -> StmConfig {
+        self.durability = mode;
         self
     }
 

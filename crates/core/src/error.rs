@@ -100,6 +100,11 @@ pub enum AbortReason {
     LockAcquire,
     /// The program itself requested a retry via [`Abort::explicit`].
     Explicit,
+    /// The write-ahead commit log refused the transaction's record
+    /// (I/O failure or an earlier poisoning). Raised *before* any heap
+    /// write-back, so the rollback is clean — but the runtime treats it
+    /// as fail-stop rather than retrying against a broken log.
+    Durability,
 }
 
 impl AbortReason {
@@ -111,6 +116,7 @@ impl AbortReason {
             AbortReason::Timeout => "timeout",
             AbortReason::LockAcquire => "lock-acquire",
             AbortReason::Explicit => "explicit",
+            AbortReason::Durability => "durability",
         }
     }
 }
@@ -186,6 +192,17 @@ impl Abort {
         }
     }
 
+    /// Abort because the commit log could not accept the write record
+    /// (see [`crate::wal`]). Not retried: [`crate::Stm::atomic`] treats
+    /// it as fail-stop.
+    #[inline]
+    pub fn durability() -> Abort {
+        Abort {
+            reason: AbortReason::Durability,
+            conflict: Conflict::NONE,
+        }
+    }
+
     /// Attach the heap address whose validation failed.
     #[inline]
     pub fn at_addr(mut self, addr: Addr) -> Abort {
@@ -241,6 +258,7 @@ mod tests {
             AbortReason::Timeout,
             AbortReason::LockAcquire,
             AbortReason::Explicit,
+            AbortReason::Durability,
         ];
         let mut names: Vec<_> = all.iter().map(|r| r.name()).collect();
         names.sort_unstable();

@@ -20,6 +20,14 @@ pub const SNOREC_SKIP_REVALIDATION: u32 = 1 << 0;
 /// derived from since-overwritten reads.
 pub const TL2_SKIP_READ_VALIDATION: u32 = 1 << 1;
 
+/// WAL: the storage backend fails appends with an I/O error, exercising
+/// the clean pre-write-back abort path (see [`crate::wal`]).
+pub const WAL_APPEND_IO_ERROR: u32 = 1 << 2;
+
+/// WAL: the storage backend fails fsyncs with an I/O error, exercising
+/// the fail-stop path in [`crate::wal::CommitLog::wait_durable`].
+pub const WAL_FSYNC_IO_ERROR: u32 = 1 << 3;
+
 #[cfg(feature = "fault-injection")]
 mod armed {
     use std::sync::atomic::{AtomicU32, Ordering};

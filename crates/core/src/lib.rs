@@ -86,6 +86,7 @@ pub mod tl2;
 pub mod tvar;
 pub mod util;
 pub mod value;
+pub mod wal;
 
 pub use cm::CmPolicy;
 pub use config::{Algorithm, StmConfig};
@@ -101,3 +102,7 @@ pub use telemetry::{
 };
 pub use tvar::{TArray, TVar};
 pub use value::{Fx32, Word};
+pub use wal::{
+    read_records, replay, CommitLog, DurabilityMode, FileStorage, LogStorage, RecoveryReport,
+    SimHandle, SimStorage, StopReason, Ticket, WalError, WalRecord,
+};

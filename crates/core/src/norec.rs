@@ -25,6 +25,7 @@ use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
 use crate::telemetry::PhaseRecorder;
 use crate::util::SpinWait;
+use crate::wal::CommitLog;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The single global timestamped lock (even = free, odd = a writer is
@@ -97,6 +98,9 @@ pub struct NorecTx<'a> {
     /// Stamp/read the global committer word for abort attribution.
     /// Only true at `TelemetryLevel::Spans`.
     record_committer: bool,
+    /// The write-ahead commit log, when the owning [`crate::Stm`] is
+    /// durable (see [`NorecTx::enable_wal`]).
+    wal: Option<&'a CommitLog>,
 }
 
 impl<'a> NorecTx<'a> {
@@ -118,7 +122,14 @@ impl<'a> NorecTx<'a> {
             writes: WriteSet::default(),
             phases: PhaseRecorder::disabled(),
             record_committer: false,
+            wal: None,
         }
+    }
+
+    /// Make writer commits durable: append the resolved write set to
+    /// `log` post-validation/pre-write-back and ack only once durable.
+    pub(crate) fn enable_wal(&mut self, log: &'a CommitLog) {
+        self.wal = Some(log);
     }
 
     /// Turn the flight recorder on for this context: install a live
@@ -373,16 +384,37 @@ impl<'a> NorecTx<'a> {
                 .committer
                 .store(crate::util::thread_token(), Ordering::Relaxed);
         }
-        // Lock held: from here through `release` the write-back is one
-        // atomic step of the virtual schedule (no further sched points).
+        // Lock held: resolve deferred increments against live memory
+        // into absolute values. The WAL record must hold the resolved
+        // values (replay cannot re-run increments), so resolution moves
+        // ahead of the log append; without a log it fuses back into the
+        // write-back loop below via the same `resolve` values.
+        let ticket = if let Some(log) = self.wal {
+            let resolved: Vec<(Addr, i64)> = self
+                .writes
+                .iter()
+                .map(|(addr, e)| (addr, self.resolve(addr, &e)))
+                .collect();
+            sched::point(sched::PointKind::WalAppend);
+            match log.append(&resolved) {
+                Ok(t) => Some(t),
+                Err(_) => {
+                    // Nothing written back yet: restore the pre-acquire
+                    // even time and abort cleanly.
+                    self.global.release(snap);
+                    return Err(Abort::durability());
+                }
+            }
+        } else {
+            None
+        };
+        // From here through `release` the write-back is one atomic step
+        // of the virtual schedule (no further sched points).
         sched::point(sched::PointKind::NorecWriteback);
         self.phases.mark_writeback();
         let mut write_filter = 0u64;
         for (addr, e) in self.writes.iter() {
-            let v = match e.kind {
-                WriteKind::Store => e.value,
-                WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
-            };
+            let v = self.resolve(addr, &e);
             self.heap.tm_store(addr, v);
             write_filter |= filter_bit(addr.index());
         }
@@ -392,7 +424,29 @@ impl<'a> NorecTx<'a> {
             self.global.ring.publish(snap, write_filter);
         }
         self.global.release(snap + 2);
+        if let (Some(log), Some(t)) = (self.wal, ticket) {
+            // Ack only once durable. A flush failure here is fail-stop:
+            // the in-memory commit is already visible and cannot be
+            // retried (increments would double-apply).
+            if let Err(e) = log.wait_durable(t) {
+                panic!(
+                    "commit {} is applied but cannot be made durable: {e}",
+                    t.seq()
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// The absolute value a write entry stores: deferred increments are
+    /// materialised against live memory (valid only under the commit
+    /// lock, after validation).
+    #[inline]
+    fn resolve(&self, addr: Addr, e: &WriteEntry) -> i64 {
+        match e.kind {
+            WriteKind::Store => e.value,
+            WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
+        }
     }
 
     /// Number of read-set entries (diagnostics/tests).

@@ -72,6 +72,15 @@ pub enum PointKind {
     /// Sharded-clock NOrec: all write-set shards held and the read-set
     /// revalidated, before write-back begins.
     ScNorecWriteback,
+    /// WAL: commit locks held and validation passed, before appending
+    /// the resolved write record to the commit log (still before the
+    /// first data write-back, so the placement invariant holds).
+    WalAppend,
+    /// WAL flusher: before draining the pending buffer into storage.
+    WalFlush,
+    /// WAL flusher: batch appended, before the fsync that makes it
+    /// durable — the crash window where written ≠ durable.
+    WalFsync,
 }
 
 #[cfg(feature = "shuttle")]

@@ -51,6 +51,7 @@ use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
 use crate::telemetry::PhaseRecorder;
 use crate::util::SpinWait;
+use crate::wal::CommitLog;
 
 /// One sharded-clock NOrec / S-NOrec transaction attempt.
 ///
@@ -83,6 +84,9 @@ pub struct ScNorecTx<'a> {
     wshards: Vec<usize>,
     phases: PhaseRecorder,
     record_committer: bool,
+    /// The write-ahead commit log, when the owning [`crate::Stm`] is
+    /// durable.
+    wal: Option<&'a CommitLog>,
 }
 
 impl<'a> ScNorecTx<'a> {
@@ -107,7 +111,14 @@ impl<'a> ScNorecTx<'a> {
             wshards: Vec::new(),
             phases: PhaseRecorder::disabled(),
             record_committer: false,
+            wal: None,
         }
+    }
+
+    /// Make writer commits durable (see
+    /// [`crate::norec::NorecTx::enable_wal`]).
+    pub(crate) fn enable_wal(&mut self, log: &'a CommitLog) {
+        self.wal = Some(log);
     }
 
     /// Turn the flight recorder on for this context (see
@@ -434,6 +445,29 @@ impl<'a> ScNorecTx<'a> {
         if self.record_committer {
             self.clock.stamp_committer(crate::util::thread_token());
         }
+        // Write shards held and validation passed: resolve deferred
+        // increments to absolute values and append the WAL record now,
+        // before the epoch bump announces any data change. A refused
+        // append rolls back cleanly — nothing was written.
+        let ticket = if let Some(log) = self.wal {
+            let resolved: Vec<(Addr, i64)> = self
+                .writes
+                .iter()
+                .map(|(addr, e)| (addr, self.resolve(addr, &e)))
+                .collect();
+            sched::point(sched::PointKind::WalAppend);
+            match log.append(&resolved) {
+                Ok(t) => Some(t),
+                Err(_) => {
+                    for &s in &self.wshards {
+                        self.clock.release(s, self.snapshot[s]);
+                    }
+                    return Err(Abort::durability());
+                }
+            }
+        } else {
+            None
+        };
         // Publish intent before the first data store: readers' epoch
         // fast path relies on every write-back being preceded by a bump
         // (see [`ShardedClock::bump_epoch`]).
@@ -444,16 +478,33 @@ impl<'a> ScNorecTx<'a> {
         sched::point(sched::PointKind::ScNorecWriteback);
         self.phases.mark_writeback();
         for (addr, e) in self.writes.iter() {
-            let v = match e.kind {
-                WriteKind::Store => e.value,
-                WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
-            };
+            let v = self.resolve(addr, &e);
             self.heap.tm_store(addr, v);
         }
         for &s in &self.wshards {
             self.clock.release(s, self.snapshot[s] + 2);
         }
+        if let (Some(log), Some(t)) = (self.wal, ticket) {
+            // Fail stop on flush failure: the in-memory commit is
+            // already visible and cannot be retried.
+            if let Err(e) = log.wait_durable(t) {
+                panic!(
+                    "commit {} is applied but cannot be made durable: {e}",
+                    t.seq()
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// The absolute value a write entry stores (increments materialised
+    /// against live memory; valid only with the write shards held).
+    #[inline]
+    fn resolve(&self, addr: Addr, e: &WriteEntry) -> i64 {
+        match e.kind {
+            WriteKind::Store => e.value,
+            WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
+        }
     }
 
     /// Number of read-set entries (diagnostics/tests).

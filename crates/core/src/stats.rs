@@ -58,6 +58,9 @@ pub struct StatsSnapshot {
     pub aborts_lock_acquire: u64,
     /// Programmer-requested retries.
     pub aborts_explicit: u64,
+    /// Aborts because the commit log refused the write record (WAL I/O
+    /// failure; fail-stop, so at most one per thread in practice).
+    pub aborts_durability: u64,
     /// Total `TM_READ` calls in committed transactions.
     pub reads: u64,
     /// Total `TM_WRITE` calls in committed transactions.
@@ -92,9 +95,9 @@ impl StatsSnapshot {
         self.aborts_validation + self.aborts_locked + self.aborts_timeout + self.aborts_lock_acquire
     }
 
-    /// All aborts including explicit retries.
+    /// All aborts including explicit retries and durability failures.
     pub fn total_aborts(&self) -> u64 {
-        self.conflict_aborts() + self.aborts_explicit
+        self.conflict_aborts() + self.aborts_explicit + self.aborts_durability
     }
 
     /// Total attempts: every attempt either commits or aborts, so
@@ -183,6 +186,7 @@ impl StatsSnapshot {
             aborts_timeout: self.aborts_timeout - earlier.aborts_timeout,
             aborts_lock_acquire: self.aborts_lock_acquire - earlier.aborts_lock_acquire,
             aborts_explicit: self.aborts_explicit - earlier.aborts_explicit,
+            aborts_durability: self.aborts_durability - earlier.aborts_durability,
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
             cmps: self.cmps - earlier.cmps,

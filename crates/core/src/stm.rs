@@ -24,6 +24,7 @@ use crate::telemetry::{PhaseRecorder, SpanEvent, Telemetry, TelemetryLevel};
 use crate::tl2::{Tl2Global, Tl2Tx};
 use crate::util::thread_token;
 use crate::value::Word;
+use crate::wal::{CommitLog, LogStorage};
 use std::time::Instant;
 
 /// A shared software-transactional-memory instance.
@@ -38,6 +39,7 @@ pub struct Stm {
     sclock: ShardedClock,
     tl2: Tl2Global,
     telemetry: Telemetry,
+    wal: Option<CommitLog>,
 }
 
 impl Stm {
@@ -49,8 +51,28 @@ impl Stm {
             sclock: ShardedClock::new(config.clock_shards),
             tl2: Tl2Global::new(config.orec_count),
             telemetry: Telemetry::new(config.telemetry, config.algorithm, config.trace_capacity),
+            wal: None,
             config,
         }
+    }
+
+    /// Create a **durable** runtime: every commit's resolved write set
+    /// is appended to a write-ahead log over `storage` (flushed per
+    /// [`StmConfig::durability`]) before the commit is acknowledged, and
+    /// [`crate::wal::replay`] can rebuild the heap from the log prefix
+    /// after a crash. See [`crate::wal`] for the protocol and the
+    /// fail-stop policy on I/O errors.
+    pub fn with_wal(config: StmConfig, storage: Box<dyn LogStorage>) -> Stm {
+        let mode = config.durability;
+        let mut stm = Stm::new(config);
+        stm.wal = Some(CommitLog::new(storage, mode));
+        stm
+    }
+
+    /// The attached commit log, if this runtime is durable.
+    #[inline]
+    pub fn wal(&self) -> Option<&CommitLog> {
+        self.wal.as_ref()
     }
 
     /// The algorithm this instance runs.
@@ -212,6 +234,15 @@ impl Stm {
                         self.telemetry.record_span(span);
                         self.telemetry.record_conflict(victim, abort.conflict());
                     }
+                    // Fail stop on durability failures: the rollback was
+                    // clean (the append is refused before any heap
+                    // write-back), but retrying against a poisoned log
+                    // can never succeed and pretending to commit without
+                    // durability would break the ack contract. Surface
+                    // loudly; `try_atomic` is the non-panicking probe.
+                    if abort.reason == AbortReason::Durability {
+                        panic!("commit log I/O failure: {abort} — aborting (fail-stop durability)");
+                    }
                     let spins = cm.pause(attempt, abort.reason);
                     if histograms {
                         self.telemetry.record_backoff(spins);
@@ -308,6 +339,13 @@ impl<'a> Tx<'a> {
                 TxInner::Norec(t) => t.enable_spans(recorder),
                 TxInner::ScNorec(t) => t.enable_spans(recorder),
                 TxInner::Tl2(t) => t.enable_spans(recorder),
+            }
+        }
+        if let Some(log) = &stm.wal {
+            match &mut tx.inner {
+                TxInner::Norec(t) => t.enable_wal(log),
+                TxInner::ScNorec(t) => t.enable_wal(log),
+                TxInner::Tl2(t) => t.enable_wal(log),
             }
         }
         tx

@@ -94,6 +94,7 @@ pub struct StatShard {
     aborts_timeout: AtomicU64,
     aborts_lock_acquire: AtomicU64,
     aborts_explicit: AtomicU64,
+    aborts_durability: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     cmps: AtomicU64,
@@ -132,6 +133,7 @@ impl StatShard {
             AbortReason::Timeout => &self.aborts_timeout,
             AbortReason::LockAcquire => &self.aborts_lock_acquire,
             AbortReason::Explicit => &self.aborts_explicit,
+            AbortReason::Durability => &self.aborts_durability,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
         self.aborted_reads.fetch_add(ops.reads, Ordering::Relaxed);
@@ -151,6 +153,7 @@ impl StatShard {
         out.aborts_timeout += self.aborts_timeout.load(Ordering::Relaxed);
         out.aborts_lock_acquire += self.aborts_lock_acquire.load(Ordering::Relaxed);
         out.aborts_explicit += self.aborts_explicit.load(Ordering::Relaxed);
+        out.aborts_durability += self.aborts_durability.load(Ordering::Relaxed);
         out.reads += self.reads.load(Ordering::Relaxed);
         out.writes += self.writes.load(Ordering::Relaxed);
         out.cmps += self.cmps.load(Ordering::Relaxed);

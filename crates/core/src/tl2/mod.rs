@@ -38,6 +38,7 @@ use crate::sets::{ReadEntry, WriteEntry, WriteKind, WriteSet};
 use crate::stats::OpCounts;
 use crate::telemetry::PhaseRecorder;
 use crate::util::{thread_token, SpinWait};
+use crate::wal::CommitLog;
 use orec::{OrecTable, OrecWord};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -105,6 +106,9 @@ pub struct Tl2Tx<'a> {
     /// Stamp/read the global committer word for abort attribution.
     /// Only true at `TelemetryLevel::Spans`.
     record_committer: bool,
+    /// The write-ahead commit log, when the owning [`crate::Stm`] is
+    /// durable.
+    wal: Option<&'a CommitLog>,
 }
 
 impl<'a> Tl2Tx<'a> {
@@ -127,7 +131,14 @@ impl<'a> Tl2Tx<'a> {
             locked: Vec::new(),
             phases: PhaseRecorder::disabled(),
             record_committer: false,
+            wal: None,
         }
+    }
+
+    /// Make writer commits durable (see
+    /// [`crate::norec::NorecTx::enable_wal`]).
+    pub(crate) fn enable_wal(&mut self, log: &'a CommitLog) {
+        self.wal = Some(log);
     }
 
     /// Turn the flight recorder on for this context: install a live
@@ -549,15 +560,35 @@ impl<'a> Tl2Tx<'a> {
             }
         }
 
+        // Validation passed, locks held, nothing stored yet: resolve
+        // deferred increments to absolute values and append the WAL
+        // record. A refused append rolls back cleanly — the advanced
+        // clock is harmless without a stamped orec (other transactions
+        // at worst revalidate spuriously).
+        let ticket = if let Some(log) = self.wal {
+            let resolved: Vec<(Addr, i64)> = self
+                .writes
+                .iter()
+                .map(|(addr, e)| (addr, self.resolve(addr, &e)))
+                .collect();
+            sched::point(sched::PointKind::WalAppend);
+            match log.append(&resolved) {
+                Ok(t) => Some(t),
+                Err(_) => {
+                    self.release_locks_rollback();
+                    return Err(Abort::durability());
+                }
+            }
+        } else {
+            None
+        };
+
         // Locks held, clock advanced: from here through the lock release
         // the write-back is one atomic step of the virtual schedule.
         sched::point(sched::PointKind::Tl2Writeback);
         self.phases.mark_writeback();
         for (addr, e) in self.writes.iter() {
-            let v = match e.kind {
-                WriteKind::Store => e.value,
-                WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
-            };
+            let v = self.resolve(addr, &e);
             self.heap.tm_store(addr, v);
         }
         if self.record_committer {
@@ -566,7 +597,28 @@ impl<'a> Tl2Tx<'a> {
             self.global.committer.store(self.owner, Ordering::Relaxed);
         }
         self.release_locks_committed(write_version);
+        if let (Some(log), Some(t)) = (self.wal, ticket) {
+            // Fail stop on flush failure: the in-memory commit is
+            // already visible and cannot be retried.
+            if let Err(e) = log.wait_durable(t) {
+                panic!(
+                    "commit {} is applied but cannot be made durable: {e}",
+                    t.seq()
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// The absolute value a write entry stores (increments materialised
+    /// against live memory; valid only under the commit locks, after
+    /// validation).
+    #[inline]
+    fn resolve(&self, addr: Addr, e: &WriteEntry) -> i64 {
+        match e.kind {
+            WriteKind::Store => e.value,
+            WriteKind::Increment => self.heap.tm_load(addr).wrapping_add(e.value),
+        }
     }
 
     /// Abort cleanup (no locks are held outside `commit`, which already

@@ -26,6 +26,17 @@ echo "==> sharded-clock re-run (semtm-check, SEMTM_CLOCK_SHARDS=4)"
 SEMTM_CLOCK_SHARDS=4 SEMTM_CHECK_ITERS="${SEMTM_SHARDED_ITERS:-200}" \
   cargo test -q -p semtm-check
 
+echo "==> crash-recovery matrix (kill-at-any-schedule-point sweep)"
+# Every engine (incl. the sharded-clock S-NOrec) x {bank, slots} kernel:
+# random schedules where *each* schedule point doubles as a crash point;
+# every sampled storage state is recovered under three tail policies and
+# checked for prefix durability (no acked commit lost) and atomicity (no
+# partial transaction visible). SEMTM_CRASH_SEEDS scales the sweep for
+# soak runs. Writes results/check/crash_matrix.csv.
+SEMTM_CRASH_SEEDS="${SEMTM_CRASH_SEEDS:-4}" \
+  cargo test -q -p semtm-check --test crash_matrix
+grep -q "S-NOrec,4,slots" results/check/crash_matrix.csv
+
 echo "==> trace-export smoke (figures -- trace)"
 # Tiny skewed-Bank sweep under the flight recorder; the harness
 # schema-validates its own Chrome trace JSON (one track and at least one
@@ -45,6 +56,18 @@ mkdir -p results/check
 cp "$tmp/results/ablation_layout.csv" results/check/ablation_layout_smoke.csv
 rm -rf "$tmp"
 grep -q "sharded+padded" results/check/ablation_layout_smoke.csv
+
+echo "==> durability ablation smoke (figures -- ablation-durability)"
+# Smoke-scale A6 sweep ({no-wal, per-commit fsync, group commit} on
+# Bank, plus recovery-replay throughput). Same scratch-dir pattern as
+# A5; the smoke CSV lands under results/check/ for CI upload.
+tmp="$(mktemp -d)"
+(cd "$tmp" && cargo run --release -q --manifest-path "$root/Cargo.toml" \
+  -p semtm-bench --bin figures -- --smoke ablation-durability)
+cp "$tmp/results/ablation_durability.csv" results/check/ablation_durability_smoke.csv
+rm -rf "$tmp"
+grep -q "wal-group" results/check/ablation_durability_smoke.csv
+grep -q "recovery" results/check/ablation_durability_smoke.csv
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
