@@ -11,7 +11,7 @@
 
 use semtm_bench::experiments as exp;
 use semtm_bench::report::{markdown_table, speedup_summary, write_csv, write_results_file};
-use semtm_bench::{dashboard, fig2, table3, trace, Scale, Sweep};
+use semtm_bench::{dashboard, fig2, snapshot, table3, trace, Scale, Sweep};
 use semtm_core::Algorithm;
 use semtm_workloads::stamp::labyrinth::Variant;
 use std::time::Duration;
@@ -34,6 +34,8 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-ring",
     "ablation-layout",
     "ablation-durability",
+    "ablation-adaptive",
+    "bench-snapshot",
     "contention",
     "telemetry",
     "trace",
@@ -220,6 +222,32 @@ fn main() {
             exp::ablation_durability(&sweep),
             &[("S-NOrec/no-wal", "S-NOrec/wal-group")],
         );
+    }
+    if pick("ablation-adaptive") {
+        emit(
+            "ablation_adaptive",
+            "Ablation A7 — adaptive engine switching across phase shifts \
+             (Bank -> hot Hashtable -> Scan)",
+            exp::ablation_adaptive(&sweep),
+            &[
+                ("S-NOrec", "adaptive"),
+                ("S-NOrec/sharded", "adaptive"),
+                ("S-TL2", "adaptive"),
+            ],
+        );
+    }
+    if pick("bench-snapshot") {
+        let snap = snapshot::collect(&sweep);
+        print!("{}", snapshot::markdown(&snap));
+        let json = snap.to_json().render();
+        if let Err(e) = snapshot::validate(&json) {
+            eprintln!("bench snapshot failed schema validation: {e}");
+            std::process::exit(1);
+        }
+        match write_results_file("BENCH_10.json", &json) {
+            Ok(p) => println!("wrote {} (schema {})", p.display(), snapshot::SCHEMA),
+            Err(e) => eprintln!("snapshot write failed: {e}"),
+        }
     }
     if pick("telemetry") {
         let report = exp::telemetry_bank(&sweep);

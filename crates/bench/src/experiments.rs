@@ -3,10 +3,11 @@
 //! S-NOrec, TL2 and S-TL2.
 
 use crate::report::{AlgorithmTelemetry, FigureRow, OverheadRow, TelemetryReport};
-use semtm_core::{Algorithm, CmPolicy, Stm, StmConfig, TelemetryLevel};
-use semtm_workloads::driver::RunResult;
+use semtm_core::{AdaptPolicy, Algorithm, CmPolicy, Stm, StmConfig, TelemetryLevel};
+use semtm_workloads::driver::{run_for_duration, RunResult};
 use semtm_workloads::stamp::{kmeans, labyrinth, vacation, yada};
-use semtm_workloads::{bank, hashtable, lru};
+use semtm_workloads::{bank, hashtable, lru, scan};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Experiment scale.
@@ -53,7 +54,7 @@ impl Sweep {
         }
     }
 
-    fn pick<T>(&self, smoke: T, paper: T) -> T {
+    pub(crate) fn pick<T>(&self, smoke: T, paper: T) -> T {
         match self.scale {
             Scale::Smoke => smoke,
             Scale::Paper => paper,
@@ -625,6 +626,209 @@ pub fn ablation_durability(sweep: &Sweep) -> Vec<FigureRow> {
     rows
 }
 
+/// The A7 ticker cadence and controller tuning: sampled fast enough to
+/// react within a few percent of a phase, with two ticks of dwell so a
+/// single noisy window can't thrash the engine.
+fn a7_policy(sweep: &Sweep) -> AdaptPolicy {
+    AdaptPolicy {
+        // Low enough that even the hot hashtable phase (a few thousand
+        // commits per second) yields a decidable window per tick.
+        min_commits: sweep.pick(8, 16),
+        dwell_ticks: 2,
+        ..AdaptPolicy::default()
+    }
+}
+
+/// Ablation A7 (DESIGN.md §10): telemetry-driven adaptive engine
+/// switching under a phase-shifting workload. One process runs three
+/// back-to-back phases on the *same* transactional heap —
+///
+/// 1. **Bank** — small read/compare-sets, ~20-entry write-sets: the
+///    global-clock S-NOrec regime (A5 showed the sharded clock's
+///    commit tax has nothing to amortise against here);
+/// 2. **hot Hashtable** — the contention_sweep regime (90% occupancy,
+///    long probe chains, heavy mutation): large compare-sets and a busy
+///    clock, where partial revalidation or per-orec validation wins;
+/// 3. **Scan** — 64-cell read windows with a 1–2 word write-set: a
+///    global clock forces whole-window revalidation on every commit,
+///    the sharded clock localises it to the shards that moved.
+///
+/// Each fixed engine (global S-NOrec, sharded S-NOrec, S-TL2) runs the
+/// gauntlet pinned; the `adaptive` runtime starts wherever
+/// [`semtm_core::Mode::initial`] puts it and lets [`Stm::adapt_tick`] —
+/// driven by a
+/// harness ticker thread, exactly as an embedding application would —
+/// re-pick the engine from live telemetry as the phases shift. Rows
+/// report per-phase and whole-gauntlet throughput, plus the adaptive
+/// run's switch count and mean hot-swap latency.
+pub fn ablation_adaptive(sweep: &Sweep) -> Vec<FigureRow> {
+    const SHARDS: usize = 16;
+    let threads = sweep.threads.iter().copied().max().unwrap_or(1);
+    let tick = sweep.pick(Duration::from_millis(2), Duration::from_millis(8));
+    let bank_cfg = bank::BankConfig {
+        accounts: sweep.pick(32, 64),
+        padded: true,
+        ..bank::BankConfig::default()
+    };
+    let ht_cap = sweep.pick(1 << 9, 1 << 10);
+    let ht_cfg = hashtable::HashtableConfig {
+        capacity: ht_cap,
+        fill_pct: 45,
+        tombstone_pct: 45,
+        ops_per_tx: 10,
+        get_pct: 60,
+        key_space: (ht_cap as u64) * 4,
+        padded: true,
+    };
+    let scan_cfg = scan::ScanConfig {
+        cells: sweep.pick(128, 256),
+        reads_per_tx: sweep.pick(32, 64),
+        padded: true,
+        ..scan::ScanConfig::default()
+    };
+
+    let engines: [(&str, usize, Option<AdaptPolicy>); 4] = [
+        ("S-NOrec", 1, None),
+        ("S-NOrec/sharded", SHARDS, None),
+        ("S-TL2", 1, None),
+        ("adaptive", SHARDS, Some(a7_policy(sweep))),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, shards, policy) in engines {
+        let alg = if label == "S-TL2" {
+            Algorithm::STl2
+        } else {
+            Algorithm::SNOrec
+        };
+        let mut cfg = StmConfig::new(alg)
+            .heap_words(1 << 16)
+            .orec_count(1 << 14)
+            .clock_shards(shards);
+        if let Some(p) = policy {
+            cfg = cfg.adaptive(p);
+        }
+        let stm = Stm::new(cfg);
+        let bank_state = bank::Bank::new(&stm, bank_cfg);
+        let table = hashtable::Hashtable::new(&stm, ht_cfg);
+        let scan_state = scan::Scan::new(&stm, scan_cfg);
+        let incs = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+
+        let mut phases: Vec<(&'static str, RunResult)> = Vec::new();
+        let mut switch_reports = Vec::new();
+        std::thread::scope(|s| {
+            // The embedding application's control loop: poll the
+            // controller at a fixed cadence for the whole gauntlet.
+            let ticker = policy.map(|_| {
+                s.spawn(|| {
+                    let mut reports = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(r) = stm.adapt_tick() {
+                            reports.push(r);
+                        }
+                        std::thread::sleep(tick);
+                    }
+                    reports
+                })
+            });
+            let stm = &stm;
+            phases.push((
+                "bank",
+                run_for_duration(stm, threads, sweep.duration, sweep.seed, |_tid, rng| {
+                    bank_state.transfer_tx(stm, rng);
+                }),
+            ));
+            phases.push((
+                "hashtable-hot",
+                run_for_duration(stm, threads, sweep.duration, sweep.seed, |_tid, rng| {
+                    table.workload_tx(stm, rng);
+                }),
+            ));
+            phases.push((
+                "scan",
+                run_for_duration(stm, threads, sweep.duration, sweep.seed, |_tid, rng| {
+                    incs.fetch_add(scan_state.scan_tx(stm, rng), Ordering::Relaxed);
+                }),
+            ));
+            stop.store(true, Ordering::Relaxed);
+            if let Some(h) = ticker {
+                switch_reports = h.join().expect("ticker thread panicked");
+            }
+        });
+        // Every phase's invariants must hold across however many
+        // hot-swaps happened mid-run.
+        bank_state.verify(&stm).expect("bank invariants violated");
+        table.verify(&stm).expect("hashtable integrity violated");
+        scan_state
+            .verify(&stm, incs.load(Ordering::Relaxed))
+            .expect("scan invariants violated");
+
+        let mut total_ops = 0u64;
+        let mut total_secs = 0.0f64;
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
+        let mut attempts = 0u64;
+        for (phase, r) in &phases {
+            total_ops += r.total_ops;
+            total_secs += r.elapsed.as_secs_f64();
+            commits += r.stats.commits;
+            aborts += r.stats.conflict_aborts();
+            attempts += r.stats.attempts();
+            rows.push(FigureRow {
+                figure: "A7",
+                benchmark: phase,
+                algorithm: label.to_string(),
+                threads,
+                metric: "throughput_ktps",
+                value: r.throughput_ktps(),
+                abort_pct: r.abort_pct(),
+                commits: r.stats.commits,
+                aborts: r.stats.conflict_aborts(),
+            });
+        }
+        rows.push(FigureRow {
+            figure: "A7",
+            benchmark: "full",
+            algorithm: label.to_string(),
+            threads,
+            metric: "throughput_ktps",
+            value: total_ops as f64 / total_secs.max(1e-9) / 1000.0,
+            abort_pct: 100.0 * aborts as f64 / attempts.max(1) as f64,
+            commits,
+            aborts,
+        });
+        if policy.is_some() {
+            let mean_us = if switch_reports.is_empty() {
+                0.0
+            } else {
+                switch_reports
+                    .iter()
+                    .map(|r| r.elapsed.as_secs_f64() * 1e6)
+                    .sum::<f64>()
+                    / switch_reports.len() as f64
+            };
+            for (metric, value) in [
+                ("switches", switch_reports.len() as f64),
+                ("switch_mean_us", mean_us),
+            ] {
+                rows.push(FigureRow {
+                    figure: "A7",
+                    benchmark: "full",
+                    algorithm: label.to_string(),
+                    threads,
+                    metric,
+                    value,
+                    abort_pct: 0.0,
+                    commits: stm.switch_count(),
+                    aborts: 0,
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Telemetry deep-dive on the Bank workload: one fully-instrumented run
 /// per algorithm at the sweep's highest thread count, with the
 /// [`TelemetryLevel::Spans`] flight recorder enabled. Produces the JSON
@@ -687,6 +891,47 @@ pub fn telemetry_bank(sweep: &Sweep) -> TelemetryReport {
         let r = bank::run(&stm, cfg, threads, sweep.duration, sweep.seed);
         overhead.push(OverheadRow {
             level: level.name().to_string(),
+            throughput_ktps: r.throughput_ktps(),
+            commits: r.stats.commits,
+        });
+    }
+    // Third row: the adaptive controller attached and ticking over a
+    // stable workload. On steady Bank the cost model keeps the current
+    // engine (no switch ever fires), so any gap against the plain
+    // Counters row is the whole price of adaptation-at-idle: a pull-based
+    // rates() merge per tick on the ticker thread, nothing on the
+    // transaction hot path.
+    {
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(1 << 12)
+                .telemetry(TelemetryLevel::Counters)
+                .adaptive(AdaptPolicy::default()),
+        );
+        let stop = AtomicBool::new(false);
+        let mut r = None;
+        std::thread::scope(|s| {
+            let ticker = s.spawn(|| {
+                let mut switched = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if stm.adapt_tick().is_some() {
+                        switched += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                switched
+            });
+            r = Some(bank::run(&stm, cfg, threads, sweep.duration, sweep.seed));
+            stop.store(true, Ordering::Relaxed);
+            assert_eq!(
+                ticker.join().expect("ticker thread panicked"),
+                0,
+                "steady Bank must not trigger a switch"
+            );
+        });
+        let r = r.expect("bank run completed");
+        overhead.push(OverheadRow {
+            level: "counters+adaptive-idle".to_string(),
             throughput_ktps: r.throughput_ktps(),
             commits: r.stats.commits,
         });
@@ -773,6 +1018,29 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_ablation_covers_all_engines_and_phases() {
+        let rows = ablation_adaptive(&tiny());
+        for engine in ["S-NOrec", "S-NOrec/sharded", "S-TL2", "adaptive"] {
+            for bench in ["bank", "hashtable-hot", "scan", "full"] {
+                assert!(
+                    rows.iter().any(|r| r.algorithm == engine
+                        && r.benchmark == bench
+                        && r.metric == "throughput_ktps"
+                        && r.commits > 0),
+                    "{engine}/{bench} missing or empty"
+                );
+            }
+        }
+        // The adaptive run reports its switch telemetry.
+        assert!(rows
+            .iter()
+            .any(|r| r.algorithm == "adaptive" && r.metric == "switches"));
+        assert!(rows
+            .iter()
+            .any(|r| r.algorithm == "adaptive" && r.metric == "switch_mean_us"));
+    }
+
+    #[test]
     fn telemetry_bank_report_is_complete_and_consistent() {
         let report = telemetry_bank(&tiny());
         assert_eq!(report.benchmark, "bank");
@@ -809,10 +1077,12 @@ mod tests {
                 a.algorithm
             );
         }
-        // The overhead ablation always has the Counters/Spans pair.
-        assert_eq!(report.overhead.len(), 2);
+        // The overhead ablation has the Counters/Spans pair plus the
+        // adaptive-idle row.
+        assert_eq!(report.overhead.len(), 3);
         assert_eq!(report.overhead[0].level, "counters");
         assert_eq!(report.overhead[1].level, "spans");
+        assert_eq!(report.overhead[2].level, "counters+adaptive-idle");
         assert!(report.overhead.iter().all(|o| o.commits > 0));
         let json = report.to_json().render();
         assert!(json.contains("\"commit_latency_ns\""));

@@ -11,7 +11,7 @@ use crate::vthread::run_threads;
 use semtm_core::chrome::chrome_trace_json;
 use semtm_core::error::Abort;
 use semtm_core::util::SplitMix64;
-use semtm_core::{Addr, Algorithm, Stm, StmConfig, TelemetryLevel};
+use semtm_core::{Addr, Algorithm, Mode, Stm, StmConfig, TelemetryLevel};
 
 /// Probability (%) that the random driver preempts a runnable thread.
 const SWITCH_PCT: u32 = 40;
@@ -36,6 +36,29 @@ pub fn clock_shards() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&s| s >= 1)
         .unwrap_or(1)
+}
+
+/// Whether scheduled executions add an engine hot-swap virtual thread:
+/// `SEMTM_ADAPTIVE` (any value but `0` or empty) — tier-1 reruns the
+/// fuzz suite with it so every random program history is also checked
+/// across two mode switches (away from the starting engine family and
+/// back). The switcher performs no data operations, so the serial
+/// oracle of the program is unchanged; only the engines executing the
+/// transactions vary mid-history.
+pub fn adaptive() -> bool {
+    std::env::var("SEMTM_ADAPTIVE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The cross-family hot-swap target for a runtime currently in `mode`:
+/// the other engine family, same semanticity (matching what the
+/// [`semtm_core::Controller`] would propose).
+pub fn flip_family(mode: Mode) -> Mode {
+    Mode::new(match mode.algorithm {
+        Algorithm::NOrec => Algorithm::Tl2,
+        Algorithm::SNOrec => Algorithm::STl2,
+        Algorithm::Tl2 => Algorithm::NOrec,
+        Algorithm::STl2 => Algorithm::SNOrec,
+    })
 }
 
 fn check_config(alg: Algorithm, shards: usize) -> StmConfig {
@@ -143,6 +166,7 @@ pub fn run_program_sharded(
         alg,
         sched_seed,
         slot_stride(shards),
+        adaptive(),
     )
 }
 
@@ -162,7 +186,14 @@ pub fn trace_program_sharded(
     shards: usize,
 ) -> String {
     let stm = check_stm_traced_sharded(alg, shards);
-    let _ = run_program_on(&stm, program, alg, sched_seed, slot_stride(shards));
+    let _ = run_program_on(
+        &stm,
+        program,
+        alg,
+        sched_seed,
+        slot_stride(shards),
+        adaptive(),
+    );
     chrome_trace_json(alg, &stm.telemetry().span_events())
 }
 
@@ -172,6 +203,7 @@ fn run_program_on(
     alg: Algorithm,
     sched_seed: u64,
     stride: usize,
+    hot_swap: bool,
 ) -> Result<(), String> {
     let base = stm.alloc(program.slots * stride);
     for (i, v) in program.init.iter().enumerate() {
@@ -192,8 +224,24 @@ fn run_program_on(
             });
         }
     };
-    let bodies: Vec<crate::vthread::Body<'_, Shared<'_>>> =
+    // Under `SEMTM_ADAPTIVE`, one extra virtual thread hot-swaps the
+    // runtime to the other engine family and back, so the recorded
+    // history spans three engine eras. It touches no program slot —
+    // the serial oracle below is the unchanged one.
+    let switcher = |_tid: usize, shared: &Shared<'_>| {
+        let (stm, ..) = *shared;
+        let home = stm.mode();
+        let away = flip_family(home);
+        stm.switch_to(away)
+            .expect("unsharded modes are always available");
+        stm.switch_to(home)
+            .expect("the starting mode is always available");
+    };
+    let mut bodies: Vec<crate::vthread::Body<'_, Shared<'_>>> =
         program.threads.iter().map(|_| &body as _).collect();
+    if hot_swap {
+        bodies.push(&switcher);
+    }
 
     let mut driver = RandomDriver::new(sched_seed, SWITCH_PCT);
     let outcome = run_threads(&shared, &bodies, &mut driver, STEP_CAP);
@@ -274,6 +322,22 @@ pub fn run_differential_sharded(programs: usize, base_seed: u64, shards: usize) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hot_swap_thread_switches_twice_and_history_still_checks() {
+        // Every algorithm's random-program history must keep checking
+        // with the engine hot-swapped away and back mid-schedule: two
+        // completed switches on the runtime, same serial oracle.
+        let mut rng = SplitMix64::new(11);
+        let program = Program::generate(&mut rng);
+        for alg in Algorithm::ALL {
+            let stm = check_stm_sharded(alg, 1);
+            run_program_on(&stm, &program, alg, 99, 1, true)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert_eq!(stm.switch_count(), 2, "{alg}");
+            assert_eq!(stm.mode(), Mode::new(alg), "{alg}: back home");
+        }
+    }
 
     #[test]
     fn trace_program_replays_into_chrome_json() {

@@ -1,5 +1,6 @@
 //! Runtime configuration: algorithm selection and tuning knobs.
 
+use crate::adapt::AdaptPolicy;
 use crate::cm::CmPolicy;
 use crate::telemetry::TelemetryLevel;
 use crate::wal::DurabilityMode;
@@ -125,6 +126,13 @@ pub struct StmConfig {
     /// [`DurabilityMode::Group`]: a dedicated thread batches fsyncs off
     /// the commit path.
     pub durability: DurabilityMode,
+    /// Telemetry-driven adaptive engine switching ([`crate::adapt`]):
+    /// `Some(policy)` equips the runtime with a [`crate::adapt::Controller`]
+    /// that [`crate::Stm::adapt_tick`] consults to hot-swap engines under
+    /// load. `None` (the default) means no controller — manual
+    /// [`crate::Stm::switch_to`] still works, and adaptation costs
+    /// nothing beyond the always-on mode-word epoch protocol.
+    pub adaptive: Option<AdaptPolicy>,
     /// Per-shard event-ring capacity (newest events retained). Governs
     /// the abort-event rings (allocated at [`TelemetryLevel::Trace`] and
     /// above) *and* the flight-recorder span rings (allocated at
@@ -158,6 +166,7 @@ impl StmConfig {
             padded_alloc: false,
             telemetry: TelemetryLevel::Counters,
             durability: DurabilityMode::Group,
+            adaptive: None,
             trace_capacity: 1024,
         }
     }
@@ -228,6 +237,14 @@ impl StmConfig {
     /// with [`crate::Stm::with_wal`]).
     pub fn durability(mut self, mode: DurabilityMode) -> StmConfig {
         self.durability = mode;
+        self
+    }
+
+    /// Builder-style adaptive-switching knob: attach a controller with
+    /// `policy` (see [`crate::adapt`]; drive it via
+    /// [`crate::Stm::adapt_tick`]).
+    pub fn adaptive(mut self, policy: AdaptPolicy) -> StmConfig {
+        self.adaptive = Some(policy);
         self
     }
 

@@ -28,6 +28,14 @@ pub const WAL_APPEND_IO_ERROR: u32 = 1 << 2;
 /// the fail-stop path in [`crate::wal::CommitLog::wait_durable`].
 pub const WAL_FSYNC_IO_ERROR: u32 = 1 << 3;
 
+/// Adaptive switching: skip the drain barrier of
+/// [`crate::Stm::switch_to`] — the switch publishes the new mode while
+/// old-mode attempts are still in flight, so a new-mode transaction can
+/// commit without the old mode's clock ever noticing (the cross-engine
+/// torn-validation bug the mode word's quiesce protocol exists to
+/// prevent).
+pub const ADAPT_SKIP_DRAIN: u32 = 1 << 4;
+
 #[cfg(feature = "fault-injection")]
 mod armed {
     use std::sync::atomic::{AtomicU32, Ordering};

@@ -65,6 +65,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod chrome;
 pub mod cm;
 pub mod config;
@@ -88,6 +89,7 @@ pub mod util;
 pub mod value;
 pub mod wal;
 
+pub use adapt::{AdaptPolicy, Controller, Mode, SwitchError, SwitchReport};
 pub use cm::CmPolicy;
 pub use config::{Algorithm, StmConfig};
 pub use error::{Abort, AbortReason, Conflict};
@@ -97,8 +99,8 @@ pub use ops::CmpOp;
 pub use stats::StatsSnapshot;
 pub use stm::{Stm, Tx};
 pub use telemetry::{
-    AbortEvent, HistogramSnapshot, PhaseRecorder, SamplePoint, Sampler, SpanEvent, Telemetry,
-    TelemetryLevel,
+    AbortEvent, HistogramSnapshot, PhaseRecorder, RateEwma, SamplePoint, Sampler, SpanEvent,
+    Telemetry, TelemetryLevel,
 };
 pub use tvar::{TArray, TVar};
 pub use value::{Fx32, Word};

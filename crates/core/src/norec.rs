@@ -76,6 +76,15 @@ impl NorecGlobal {
     pub fn time(&self) -> u64 {
         self.load()
     }
+
+    /// Era bump for an adaptive mode switch ([`crate::adapt`]): advance
+    /// the timestamp by one commit's worth while keeping it even (free).
+    /// Called only on a quiescent runtime — the drain barrier guarantees
+    /// no writer holds the lock — so any snapshot taken before the
+    /// switch can never validate as "unchanged" after it.
+    pub(crate) fn reseed(&self) {
+        self.lock.fetch_add(2, Ordering::SeqCst);
+    }
 }
 
 /// One NOrec / S-NOrec transaction attempt.

@@ -81,6 +81,24 @@ pub enum PointKind {
     /// WAL flusher: batch appended, before the fsync that makes it
     /// durable — the crash window where written ≠ durable.
     WalFsync,
+    /// Adaptive switching: before an attempt's load of the mode word
+    /// ([`crate::adapt`] enter protocol).
+    AdaptEnter,
+    /// Adaptive switching: epoch slot incremented, before the confirming
+    /// re-load of the mode word (the enter race window).
+    AdaptEnterRecheck,
+    /// Adaptive switching: before a switcher's acquire CAS on the mode
+    /// word (`Running → Draining`).
+    AdaptAcquire,
+    /// Adaptive switching: `Draining` published, before the first scan
+    /// of the epoch slots (drain-loop rounds are reported as spins).
+    AdaptDrain,
+    /// Adaptive switching: drain complete (no attempt in flight), before
+    /// reseeding the engine metadata clocks.
+    AdaptReseed,
+    /// Adaptive switching: metadata reseeded, before publishing
+    /// `Running(next, epoch+1)`.
+    AdaptPublish,
 }
 
 #[cfg(feature = "shuttle")]

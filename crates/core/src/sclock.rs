@@ -126,6 +126,18 @@ impl ShardedClock {
         self.epoch.lock.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Era bump for an adaptive mode switch ([`crate::adapt`]): advance
+    /// every shard word by one commit's worth (keeping it even/free) and
+    /// the write-back epoch. Called only on a quiescent runtime — the
+    /// drain barrier guarantees no shard is held — so no pre-switch
+    /// shard-vector snapshot can validate as current afterwards.
+    pub(crate) fn reseed(&self) {
+        for s in self.shards.iter() {
+            s.lock.fetch_add(2, Ordering::SeqCst);
+        }
+        self.bump_epoch();
+    }
+
     /// Try to swing shard `s` from the even value `expected_even` to the
     /// odd (locked) value `expected_even + 1`.
     #[inline]

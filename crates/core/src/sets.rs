@@ -103,17 +103,23 @@ type AddrMap<V> = HashMap<u32, V, BuildHasherDefault<IdentityU64>>;
 
 /// The transaction write-set, preserving insertion order for deterministic
 /// write-back.
+///
+/// Entries live **inline** in the insertion-order vec; the hash map only
+/// holds indices into it. Lookups (`get`, the `write`/`inc` upsert,
+/// `promote`) pay one hash probe as before, but [`WriteSet::iter`] — the
+/// commit write-back and WAL record-construction path, executed while the
+/// commit locks are held — is a linear scan with no per-entry hashing.
 #[derive(Default)]
 pub struct WriteSet {
-    map: AddrMap<WriteEntry>,
-    order: Vec<Addr>,
+    map: AddrMap<u32>,
+    entries: Vec<(Addr, WriteEntry)>,
 }
 
 impl WriteSet {
     /// Look up the buffered entry for `addr`.
     #[inline]
     pub fn get(&self, addr: Addr) -> Option<WriteEntry> {
-        self.map.get(&addr.0).copied()
+        self.map.get(&addr.0).map(|&i| self.entries[i as usize].1)
     }
 
     /// Record a `TM_WRITE`: overwrites any previous entry and resets the
@@ -123,8 +129,12 @@ impl WriteSet {
             value,
             kind: WriteKind::Store,
         };
-        if self.map.insert(addr.0, entry).is_none() {
-            self.order.push(addr);
+        match self.map.get(&addr.0) {
+            Some(&i) => self.entries[i as usize].1 = entry,
+            None => {
+                self.map.insert(addr.0, self.entries.len() as u32);
+                self.entries.push((addr, entry));
+            }
         }
     }
 
@@ -132,17 +142,20 @@ impl WriteSet {
     /// *without changing its kind* (Algorithm 6, line 46), or creates a
     /// fresh `Increment` entry (line 48).
     pub fn inc(&mut self, addr: Addr, delta: i64) {
-        match self.map.get_mut(&addr.0) {
-            Some(e) => e.value = e.value.wrapping_add(delta),
+        match self.map.get(&addr.0) {
+            Some(&i) => {
+                let e = &mut self.entries[i as usize].1;
+                e.value = e.value.wrapping_add(delta);
+            }
             None => {
-                self.map.insert(
-                    addr.0,
+                self.map.insert(addr.0, self.entries.len() as u32);
+                self.entries.push((
+                    addr,
                     WriteEntry {
                         value: delta,
                         kind: WriteKind::Increment,
                     },
-                );
-                self.order.push(addr);
+                ));
             }
         }
     }
@@ -152,37 +165,39 @@ impl WriteSet {
     /// Returns the promoted value. Panics if the entry is not an
     /// increment — callers must check the kind first.
     pub fn promote(&mut self, addr: Addr, observed: i64) -> i64 {
-        let e = self
+        let i = *self
             .map
-            .get_mut(&addr.0)
+            .get(&addr.0)
             .expect("promote of address not in write-set");
+        let e = &mut self.entries[i as usize].1;
         assert_eq!(e.kind, WriteKind::Increment, "promote of a Store entry");
         e.value = e.value.wrapping_add(observed);
         e.kind = WriteKind::Store;
         e.value
     }
 
-    /// Iterate entries in insertion order.
+    /// Iterate entries in insertion order (a plain slice walk — the
+    /// commit-path fast iteration this layout exists for).
     pub fn iter(&self) -> impl Iterator<Item = (Addr, WriteEntry)> + '_ {
-        self.order.iter().map(|a| (*a, self.map[&a.0]))
+        self.entries.iter().copied()
     }
 
     /// Number of distinct addresses written.
     #[inline]
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.entries.len()
     }
 
     /// True when no writes are buffered (read-only transaction).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.entries.is_empty()
     }
 
     /// Drop all entries, keeping allocations for the next attempt.
     pub fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.entries.clear();
     }
 }
 
@@ -290,6 +305,32 @@ mod tests {
         }
         let order: Vec<u32> = ws.iter().map(|(a, _)| a.0).collect();
         assert_eq!(order, vec![5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn iteration_order_survives_overwrites_incs_and_promotes() {
+        // The inline-entry layout must keep one slot per address at its
+        // *first* insertion position, with later writes/incs/promotes
+        // updating in place — write-back order is first-touch order.
+        let mut ws = WriteSet::default();
+        ws.write(Addr(7), 70);
+        ws.inc(Addr(2), 1);
+        ws.write(Addr(4), 40);
+        ws.write(Addr(7), 71); // overwrite: position 0 keeps its slot
+        ws.inc(Addr(2), 2); // accumulate: still an Increment
+        ws.inc(Addr(4), -5); // inc-after-write stays a Store
+        let _ = ws.promote(Addr(2), 100); // promote in place
+        let got: Vec<(u32, i64, WriteKind)> =
+            ws.iter().map(|(a, e)| (a.0, e.value, e.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (7, 71, WriteKind::Store),
+                (2, 103, WriteKind::Store),
+                (4, 35, WriteKind::Store),
+            ]
+        );
+        assert_eq!(ws.len(), 3);
     }
 
     #[test]

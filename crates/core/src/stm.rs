@@ -11,6 +11,7 @@
 //! makes the base-vs-semantic columns of Table 3 and the figure legends
 //! directly comparable.
 
+use crate::adapt::{self, Controller, Mode, ModeMachine, SwitchError, SwitchReport};
 use crate::cm::ContentionManager;
 use crate::config::{Algorithm, StmConfig};
 use crate::error::{Abort, AbortReason, Conflict};
@@ -25,6 +26,7 @@ use crate::tl2::{Tl2Global, Tl2Tx};
 use crate::util::thread_token;
 use crate::value::Word;
 use crate::wal::{CommitLog, LogStorage};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A shared software-transactional-memory instance.
@@ -40,6 +42,13 @@ pub struct Stm {
     tl2: Tl2Global,
     telemetry: Telemetry,
     wal: Option<CommitLog>,
+    /// The adaptive mode word + epoch slots ([`crate::adapt`]): which
+    /// engine attempts dispatch on, and the quiesce protocol that lets
+    /// [`Stm::switch_to`] change it on a live runtime.
+    machine: ModeMachine,
+    /// The telemetry-driven controller, when [`StmConfig::adaptive`]
+    /// attached one. Locked only inside [`Stm::adapt_tick`].
+    controller: Option<Mutex<Controller>>,
 }
 
 impl Stm {
@@ -52,6 +61,8 @@ impl Stm {
             tl2: Tl2Global::new(config.orec_count),
             telemetry: Telemetry::new(config.telemetry, config.algorithm, config.trace_capacity),
             wal: None,
+            machine: ModeMachine::new(Mode::initial(&config)),
+            controller: config.adaptive.map(|p| Mutex::new(Controller::new(p))),
             config,
         }
     }
@@ -142,6 +153,71 @@ impl Stm {
         &self.telemetry
     }
 
+    /// The engine mode attempts currently dispatch on. During a switch's
+    /// drain window this still reports the old mode (the one in-flight
+    /// attempts run).
+    pub fn mode(&self) -> Mode {
+        self.machine.mode()
+    }
+
+    /// Completed mode switches over this runtime's lifetime.
+    pub fn switch_count(&self) -> u64 {
+        self.machine.switch_count()
+    }
+
+    /// Hot-swap the runtime to `target`: publish `Draining`, wait for
+    /// in-flight attempts to retire (at most one quiesce epoch — an
+    /// attempt, including its WAL durability ack), reseed the engine
+    /// metadata clocks, publish the new mode. Concurrent transactions
+    /// keep running: attempts that began before the switch complete
+    /// under the old mode; attempts that begin during the drain wait for
+    /// the handoff and run the new one.
+    ///
+    /// Returns the drain/latency report (a no-op report when `target`
+    /// is already running). Must not be called from inside a transaction
+    /// body on this runtime — the drain would wait for the caller's own
+    /// attempt, deadlocking.
+    ///
+    /// Fails with [`SwitchError::Unavailable`] if `target` needs the
+    /// sharded clock and this runtime was built with `clock_shards = 1`
+    /// (or a sharded TL2 mode was requested — that variant does not
+    /// exist).
+    pub fn switch_to(&self, target: Mode) -> Result<SwitchReport, SwitchError> {
+        if !target.available_under(&self.config) {
+            return Err(SwitchError::Unavailable(target));
+        }
+        Ok(self.machine.switch(target, || {
+            // Quiescent: no commit lock held, no write-back in flight.
+            // Bump every engine's clock one era forward (never rewound)
+            // so no snapshot taken before the switch can validate as
+            // current after it — the new engine starts from a heap that
+            // is just initial state to it. See DESIGN.md §10.
+            self.norec.reseed();
+            self.sclock.reseed();
+            self.tl2.reseed();
+        }))
+    }
+
+    /// One controller tick: fold the newest telemetry window into the
+    /// rate EWMAs, ask the [`Controller`] for a mode proposal, and apply
+    /// it via [`Stm::switch_to`]. Returns the switch report when a
+    /// switch happened. No-op (and free) without
+    /// [`StmConfig::adaptive`]; call from a sampler/ticker thread, never
+    /// from inside a transaction body.
+    pub fn adapt_tick(&self) -> Option<SwitchReport> {
+        let controller = self.controller.as_ref()?;
+        let mut ctl = controller.lock().expect("controller poisoned");
+        let rates = self.telemetry.rates(ctl.policy().sample_alpha);
+        let target = ctl.decide(self.mode(), &rates, self.config.clock_shards)?;
+        match self.switch_to(target) {
+            Ok(report) if report.changed() => {
+                ctl.note_switched();
+                Some(report)
+            }
+            _ => None,
+        }
+    }
+
     /// Run `body` as a transaction, retrying on aborts with randomised
     /// exponential backoff until it commits. Returns the body's value.
     ///
@@ -154,7 +230,15 @@ impl Stm {
             self.config.backoff_min_spins,
             self.config.backoff_max_spins,
         );
-        let mut tx = Tx::new(self);
+        // Enter the adaptive epoch before building the attempt context:
+        // the entered word pins the engine this attempt dispatches on,
+        // and the matching exit() (after commit, or after an abort's
+        // rollback) is what a switch's drain barrier waits for. The
+        // common case — no switch between attempts — keeps one Tx (and
+        // its buffers) alive across the whole retry loop.
+        let mut entered = self.machine.enter();
+        let mut mode = adapt::word_mode(entered);
+        let mut tx = Tx::new(self, mode);
         // One TLS lookup per transaction, not per event: the shard
         // reference stays hot in a register across retries.
         let shard = self.telemetry.shard();
@@ -180,6 +264,10 @@ impl Stm {
             let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
             match outcome {
                 Ok(v) => {
+                    // Retire from the epoch first: commit (including its
+                    // WAL durability ack) is done, so a draining switch
+                    // need not wait out the telemetry recording below.
+                    self.machine.exit();
                     shard.record_commit(&tx.ops);
                     if let Some(t0) = started {
                         self.telemetry.record_commit_profile(
@@ -219,6 +307,11 @@ impl Stm {
                         (0, 0)
                     };
                     tx.rollback();
+                    // Rollback released any engine metadata (TL2 orec
+                    // locks), so this attempt is fully retired: leave
+                    // the epoch before backing off — a draining switch
+                    // must not wait out our backoff pause.
+                    self.machine.exit();
                     shard.record_abort(abort.reason, &tx.ops);
                     if trace {
                         self.telemetry.record_abort_event(
@@ -258,6 +351,19 @@ impl Stm {
                         attempt = attempt.saturating_add(1);
                     }
                     attempts_total += 1;
+                    // Re-enter for the retry. A switch may have landed
+                    // while we were out (backoff): rebuild the attempt
+                    // context only when the engine actually changed —
+                    // an epoch bump alone keeps the hot buffers.
+                    let word = self.machine.enter();
+                    if word != entered {
+                        let next = adapt::word_mode(word);
+                        if next != mode {
+                            tx = Tx::new(self, next);
+                            mode = next;
+                        }
+                        entered = word;
+                    }
                 }
             }
         }
@@ -269,14 +375,19 @@ impl Stm {
         &self,
         body: impl FnOnce(&mut Tx<'_>) -> Result<T, Abort>,
     ) -> Result<T, Abort> {
-        let mut tx = Tx::new(self);
+        let entered = self.machine.enter();
+        let mut tx = Tx::new(self, adapt::word_mode(entered));
         let shard = self.telemetry.shard();
         tx.begin();
         let outcome = body(&mut tx).and_then(|v| tx.commit().map(|()| v));
         match &outcome {
-            Ok(_) => shard.record_commit(&tx.ops),
+            Ok(_) => {
+                self.machine.exit();
+                shard.record_commit(&tx.ops);
+            }
             Err(abort) => {
                 tx.rollback();
+                self.machine.exit();
                 shard.record_abort(abort.reason, &tx.ops);
             }
         }
@@ -300,24 +411,28 @@ pub struct Tx<'a> {
 }
 
 impl<'a> Tx<'a> {
-    fn new(stm: &'a Stm) -> Tx<'a> {
-        let inner = match stm.config.algorithm.baseline() {
-            // The sharded engine is only dispatched once its DFS + fuzz
-            // gates pass (crates/check/tests/sharded_clock.rs); shard
-            // count 1 stays on the classical single-seqlock engine.
-            Algorithm::NOrec if stm.config.clock_shards > 1 => TxInner::ScNorec(ScNorecTx::new(
+    fn new(stm: &'a Stm, mode: Mode) -> Tx<'a> {
+        // Dispatch on the *mode*, not the construction-time algorithm:
+        // all engine globals coexist in the Stm, so an adaptive switch
+        // is just a different arm here on the next attempt. (Before
+        // adaptive switching this matched on the config; `Mode::initial`
+        // preserves the old rule, including `clock_shards > 1` selecting
+        // the sharded engine only after its DFS + fuzz gates pass —
+        // crates/check/tests/sharded_clock.rs.)
+        let inner = match (mode.algorithm.baseline(), mode.sharded) {
+            (Algorithm::NOrec, true) => TxInner::ScNorec(ScNorecTx::new(
                 &stm.heap,
                 &stm.sclock,
                 stm.config.snorec_dedup_reads,
                 stm.config.lock_wait_spins,
             )),
-            Algorithm::NOrec => TxInner::Norec(NorecTx::new(
+            (Algorithm::NOrec, false) => TxInner::Norec(NorecTx::new(
                 &stm.heap,
                 &stm.norec,
                 stm.config.snorec_dedup_reads,
                 stm.config.norec_ring_filters,
             )),
-            Algorithm::Tl2 => TxInner::Tl2(Tl2Tx::new(
+            (Algorithm::Tl2, _) => TxInner::Tl2(Tl2Tx::new(
                 &stm.heap,
                 &stm.tl2,
                 stm.config.lock_wait_spins,
@@ -327,7 +442,7 @@ impl<'a> Tx<'a> {
         };
         let mut tx = Tx {
             inner,
-            semantic: stm.config.algorithm.is_semantic(),
+            semantic: mode.algorithm.is_semantic(),
             ops: OpCounts::default(),
         };
         // At Spans the recorder is live (its epoch is the telemetry
@@ -823,5 +938,123 @@ mod tests {
             assert_eq!(stm.read_now(a), threads * per, "{alg}");
             assert_eq!(stm.stats().commits, (threads * per) as u64, "{alg}");
         }
+    }
+
+    #[test]
+    fn hot_swap_mid_run_preserves_sum() {
+        // Worker threads increment two cells while a switcher thread
+        // cycles the runtime through every engine family. Every commit
+        // must land in exactly one engine era; the final sum proves no
+        // increment was lost or double-applied across a handoff.
+        let stm = std::sync::Arc::new(Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(64)
+                .orec_count(64)
+                .clock_shards(4),
+        ));
+        let a = stm.alloc_cell(0i64);
+        let b = stm.alloc_cell(0i64);
+        let threads = 4i64;
+        let per = 300i64;
+        let mut joins = Vec::new();
+        for _ in 0..threads {
+            let stm = stm.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    stm.atomic(|tx| {
+                        tx.inc(a, 1)?;
+                        if i % 2 == 0 {
+                            let v = tx.read(b)?;
+                            tx.write(b, v + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        // Starts sharded S-NOrec (clock_shards > 1); every hop below
+        // changes mode, including the wrap-around, so each of the 18
+        // switch_to calls drains and republishes.
+        let cycle = [
+            Mode::new(Algorithm::STl2),
+            Mode::sharded(Algorithm::SNOrec),
+            Mode::new(Algorithm::NOrec),
+            Mode::sharded(Algorithm::NOrec),
+            Mode::new(Algorithm::Tl2),
+            Mode::new(Algorithm::SNOrec),
+        ];
+        let switcher = {
+            let stm = stm.clone();
+            std::thread::spawn(move || {
+                for target in cycle.into_iter().cycle().take(18) {
+                    stm.switch_to(target).unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for j in joins {
+            j.join().unwrap();
+        }
+        switcher.join().unwrap();
+        assert_eq!(stm.read_now(a), threads * per);
+        assert_eq!(stm.read_now(b), threads * per / 2);
+        assert_eq!(stm.stats().commits, (threads * per) as u64);
+        assert_eq!(stm.switch_count(), 18);
+    }
+
+    #[test]
+    fn switch_to_rejects_unavailable_mode() {
+        let stm = Stm::new(StmConfig::new(Algorithm::SNOrec).heap_words(64));
+        let err = stm.switch_to(Mode::sharded(Algorithm::SNOrec)).unwrap_err();
+        assert_eq!(
+            err,
+            SwitchError::Unavailable(Mode::sharded(Algorithm::SNOrec))
+        );
+        // The runtime is untouched by a rejected switch.
+        assert_eq!(stm.mode(), Mode::new(Algorithm::SNOrec));
+        assert_eq!(stm.switch_count(), 0);
+        // A no-op switch to the current mode succeeds without draining.
+        let report = stm.switch_to(Mode::new(Algorithm::SNOrec)).unwrap();
+        assert!(!report.changed());
+        assert_eq!(stm.switch_count(), 0);
+    }
+
+    #[test]
+    fn adapt_tick_switches_under_write_wide_profile() {
+        // A multi-shard runtime starts on the sharded clock. A
+        // write-wide profile (Bank-like: every commit touches many
+        // words, so a sharded commit pays the multi-shard acquisition
+        // on each one) makes the global clock cheaper; one controller
+        // tick over the observed window should move the runtime there.
+        let policy = crate::adapt::AdaptPolicy {
+            min_commits: 32,
+            dwell_ticks: 0,
+            ..crate::adapt::AdaptPolicy::default()
+        };
+        let stm = Stm::new(
+            StmConfig::new(Algorithm::SNOrec)
+                .heap_words(256)
+                .clock_shards(8)
+                .adaptive(policy),
+        );
+        assert_eq!(stm.mode(), Mode::sharded(Algorithm::SNOrec));
+        let arr: Vec<_> = (0..16).map(|_| stm.alloc_cell(1i64)).collect();
+        for _ in 0..200 {
+            stm.atomic(|tx| {
+                for &c in &arr {
+                    let v = tx.read(c)?;
+                    tx.write(c, v + 1)?;
+                }
+                Ok(())
+            });
+        }
+        let report = stm.adapt_tick();
+        assert!(report.is_some_and(|r| r.changed()), "expected a switch");
+        assert_eq!(stm.mode(), Mode::new(Algorithm::SNOrec));
+        assert_eq!(stm.switch_count(), 1);
+        // Semanticity is preserved by adaptation: still the S-family.
+        assert!(stm.mode().algorithm.is_semantic());
+        // A second tick right after: the window is near-empty, stay put.
+        assert!(stm.adapt_tick().is_none());
     }
 }

@@ -594,6 +594,51 @@ pub struct Telemetry {
     spans: Box<[Mutex<EventRing<SpanEvent>>]>,
     hot: Box<[HotSketch]>,
     edges: Box<[EdgeTable]>,
+    rates: Mutex<RateState>,
+}
+
+/// One smoothed rate window from [`Telemetry::rates`]: commit/abort
+/// rates and average set sizes, EWMA-folded across sampling windows.
+///
+/// Built **entirely from the Counters tier** — one [`StatsSnapshot`]
+/// merge per call, no histogram, trace, or span access — so a controller
+/// polling it never touches a Spans-gated path and costs nothing between
+/// calls (pull-based; there is no background sampling).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RateEwma {
+    /// Commits per second (smoothed).
+    pub commit_rate: f64,
+    /// Conflict aborts per attempt, 0..1 (smoothed).
+    pub abort_ratio: f64,
+    /// Read-set entries per committed transaction — plain reads plus
+    /// semantic compares, both forms (smoothed).
+    pub avg_read_set: f64,
+    /// Write-set entries per committed transaction — writes plus
+    /// deferred increments (smoothed).
+    pub avg_write_set: f64,
+    /// Operations wasted in aborted attempts, as a fraction of all
+    /// operations observed in the window (smoothed).
+    pub wasted_ratio: f64,
+    /// Fraction of committed operations using the semantic API
+    /// (`cmp`/`inc`), 0..1 (smoothed). Stays 0 under baseline modes,
+    /// where the semantic calls delegate to plain reads/writes.
+    pub semantic_share: f64,
+    /// Commits in the **raw** newest window (not smoothed) — the
+    /// controller's "is there enough signal" gate.
+    pub window_commits: u64,
+    /// Length of the raw newest window in seconds.
+    pub window_secs: f64,
+}
+
+#[derive(Default)]
+struct RateState {
+    prev: StatsSnapshot,
+    prev_ns: u64,
+    ewma: Option<RateEwma>,
+}
+
+fn fold(alpha: f64, prev: f64, next: f64) -> f64 {
+    prev + alpha * (next - prev)
 }
 
 impl Telemetry {
@@ -641,6 +686,7 @@ impl Telemetry {
             spans: spans.into_boxed_slice(),
             hot: hot.into_boxed_slice(),
             edges: edges.into_boxed_slice(),
+            rates: Mutex::new(RateState::default()),
         }
     }
 
@@ -671,6 +717,64 @@ impl Telemetry {
             s.merge_into(&mut out);
         }
         out
+    }
+
+    /// Advance the rate window and return the smoothed rates: the delta
+    /// between the previous call's [`StatsSnapshot`] and now, folded into
+    /// EWMAs with weight `alpha` (the newest window's share, `0 < α ≤ 1`).
+    ///
+    /// Counters tier only — the one consumer pattern is a controller (or
+    /// sampler) polling at its own cadence; the window state is shared,
+    /// so interleaving *independent* pollers would split the windows
+    /// between them. The first call's window spans from construction.
+    pub fn rates(&self, alpha: f64) -> RateEwma {
+        let now_ns = self.elapsed_ns();
+        let snap = self.snapshot();
+        let mut state = self.rates.lock().expect("rate state poisoned");
+        let dt = (now_ns.saturating_sub(state.prev_ns)) as f64 / 1e9;
+        let d = |cur: u64, prev: u64| cur.saturating_sub(prev) as f64;
+        let p = &state.prev;
+        let commits = d(snap.commits, p.commits);
+        let aborts = d(snap.conflict_aborts(), p.conflict_aborts());
+        let attempts = commits + d(snap.total_aborts(), p.total_aborts());
+        let reads = d(snap.reads, p.reads) + d(snap.cmps, p.cmps) + d(snap.cmp_pairs, p.cmp_pairs);
+        let writes = d(snap.writes, p.writes) + d(snap.incs, p.incs);
+        let semantic = d(snap.cmps, p.cmps) + d(snap.cmp_pairs, p.cmp_pairs) + d(snap.incs, p.incs);
+        let committed_ops = reads + writes;
+        let wasted = d(snap.aborted_reads, p.aborted_reads)
+            + d(snap.aborted_writes, p.aborted_writes)
+            + d(snap.aborted_cmps, p.aborted_cmps)
+            + d(snap.aborted_cmp_pairs, p.aborted_cmp_pairs)
+            + d(snap.aborted_incs, p.aborted_incs);
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let window = RateEwma {
+            commit_rate: ratio(commits, dt.max(1e-9)),
+            abort_ratio: ratio(aborts, attempts),
+            avg_read_set: ratio(reads, commits),
+            avg_write_set: ratio(writes, commits),
+            wasted_ratio: ratio(wasted, committed_ops + wasted),
+            semantic_share: ratio(semantic, committed_ops),
+            window_commits: commits as u64,
+            window_secs: dt,
+        };
+        let alpha = alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        let smoothed = match state.ewma {
+            None => window,
+            Some(prev) => RateEwma {
+                commit_rate: fold(alpha, prev.commit_rate, window.commit_rate),
+                abort_ratio: fold(alpha, prev.abort_ratio, window.abort_ratio),
+                avg_read_set: fold(alpha, prev.avg_read_set, window.avg_read_set),
+                avg_write_set: fold(alpha, prev.avg_write_set, window.avg_write_set),
+                wasted_ratio: fold(alpha, prev.wasted_ratio, window.wasted_ratio),
+                semantic_share: fold(alpha, prev.semantic_share, window.semantic_share),
+                window_commits: window.window_commits,
+                window_secs: window.window_secs,
+            },
+        };
+        state.prev = snap;
+        state.prev_ns = now_ns;
+        state.ewma = Some(smoothed);
+        smoothed
     }
 
     /// Record the profile of a committed transaction (histogram level).
@@ -877,6 +981,39 @@ mod tests {
         assert!(TelemetryLevel::Counters < TelemetryLevel::Histograms);
         assert!(TelemetryLevel::Histograms < TelemetryLevel::Trace);
         assert!(TelemetryLevel::Trace < TelemetryLevel::Spans);
+    }
+
+    #[test]
+    fn rates_windows_diff_counters_and_fold_ewma() {
+        use crate::stats::OpCounts;
+        let t = Telemetry::new(TelemetryLevel::Counters, Algorithm::SNOrec, 1);
+        let commit = |reads: u64, writes: u64| {
+            t.shard().record_commit(&OpCounts {
+                reads,
+                writes,
+                ..OpCounts::default()
+            })
+        };
+        for _ in 0..10 {
+            commit(8, 2);
+        }
+        let w1 = t.rates(1.0); // α = 1: no smoothing, raw window
+        assert_eq!(w1.window_commits, 10);
+        assert_eq!(w1.avg_read_set, 8.0);
+        assert_eq!(w1.avg_write_set, 2.0);
+        assert_eq!(w1.abort_ratio, 0.0);
+        assert!(w1.commit_rate > 0.0);
+        // Second window: different profile, half-weight smoothing.
+        for _ in 0..10 {
+            commit(16, 0);
+        }
+        let w2 = t.rates(0.5);
+        assert_eq!(w2.window_commits, 10, "window is the delta, not totals");
+        assert_eq!(w2.avg_read_set, 12.0, "EWMA of 8 and 16 at α = 0.5");
+        assert_eq!(w2.avg_write_set, 1.0);
+        // Counters tier throughout: no Spans-gated state was touched.
+        assert!(t.hot_addresses().is_empty());
+        assert!(t.span_events().is_empty());
     }
 
     #[test]

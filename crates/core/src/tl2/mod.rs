@@ -81,6 +81,14 @@ impl Tl2Global {
     pub fn time(&self) -> u64 {
         self.now()
     }
+
+    /// Era bump for an adaptive mode switch ([`crate::adapt`]): advance
+    /// the version clock past every orec stamp. Called only on a
+    /// quiescent runtime (no orec locked), so transactions of the new
+    /// era start with `rv` strictly newer than all pre-switch versions.
+    pub(crate) fn reseed(&self) {
+        self.timestamp.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// One TL2 / S-TL2 transaction attempt. Used through [`crate::stm::Tx`].

@@ -4,7 +4,8 @@
 //! using Low Level Semantics"* (SPAA 2016), §7:
 //!
 //! * micro-benchmarks: [`bank`], [`hashtable`] (open addressing, paper
-//!   Algorithm 2), [`lru`], plus the [`queue`] of Algorithm 3;
+//!   Algorithm 2), [`lru`], the read-heavy [`scan`] of ablation A7,
+//!   plus the [`queue`] of Algorithm 3;
 //! * STAMP ports under [`stamp`]: Vacation, Kmeans, Labyrinth (plain and
 //!   the optimised variant of Ruan et al.), Yada, and the reduced
 //!   Genome / Intruder / SSCA2 kernels used for Table 3's operation
@@ -26,4 +27,5 @@ pub mod driver;
 pub mod hashtable;
 pub mod lru;
 pub mod queue;
+pub mod scan;
 pub mod stamp;
